@@ -1,0 +1,53 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's §5 (or
+an analysis/ablation the text calls out), writes the rows it produced
+to ``benchmarks/results/<name>.txt``, and asserts the *shape* claims
+the paper makes (who wins, linearity, where crossovers fall).  Absolute
+numbers come from the simulated substrate and are not expected to match
+the 1997 hardware.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    yield
+
+
+def write_result(name: str, lines: Iterable[str]) -> str:
+    """Persist a benchmark's table; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line.rstrip() + "\n")
+    return path
+
+
+def linear_fit(xs: List[float], ys: List[float]):
+    """Least-squares slope/intercept/r^2 for linearity assertions."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return slope, intercept, r_squared

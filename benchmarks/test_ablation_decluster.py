@@ -1,0 +1,110 @@
+"""Ablation: the decluster-factor tradeoff (§2.3).
+
+"The tradeoff in the choice of decluster factor is between reserving
+bandwidth for failed mode operation and decreased fault tolerance.
+With a decluster factor of 4, only a fifth of total disk and network
+bandwidth needs to be reserved ... but a second failure on any of 8
+machines would result in the loss of data.  Conversely, a decluster
+factor of 2 consumes a third of system bandwidth ... but can survive
+failures more than two cubs away."
+
+Columns per decluster factor:
+* streams/disk from the calibrated zoned-disk model;
+* bandwidth reserved for failed mode;
+* vulnerable machines after one cub failure;
+* surviving cub-pair fraction;
+* measured failed-mode disk duty on the covering cubs (simulation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TigerSystem, paper_config
+from repro.disk.model import DiskParameters, worst_case_streams_per_disk
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+from repro.workloads import ContinuousWorkload
+
+from conftest import write_result
+
+FACTORS = [1, 2, 4, 8]
+
+
+def measure_failed_duty(decluster: int) -> float:
+    """Covering-cub disk duty at ~70% load with one cub failed."""
+    config = paper_config(decluster=decluster)
+    system = TigerSystem(config, seed=600 + decluster)
+    system.add_standard_content(num_files=28, duration_s=300)
+    system.start()
+    system.fail_cub(2)
+    system.run_for(config.deadman_timeout + 2.0)
+    workload = ContinuousWorkload(system)
+    workload.add_streams(int(config.num_slots * 0.7))
+    system.run_for(10.0)
+    covering = [system.cubs[c] for c in system.mirror.covering_cubs(2)]
+    for cub in covering:
+        cub.reset_measurement()
+    system.run_for(10.0)
+    duties = [cub.mean_disk_utilization() for cub in covering]
+    return sum(duties) / len(duties)
+
+
+def run_ablation():
+    params = DiskParameters()
+    layout = StripeLayout(14, 4)
+    rows = []
+    for factor in FACTORS:
+        scheme = MirrorScheme(layout, factor)
+        streams = worst_case_streams_per_disk(params, 250_000, factor)
+        vulnerable = len(scheme.second_failure_vulnerable_cubs(5))
+        pairs = scheme.survivable_failure_pairs()
+        duty = measure_failed_duty(factor) if factor in (2, 4) else None
+        rows.append((factor, streams, scheme.bandwidth_reserved_fraction(),
+                     vulnerable, pairs, duty))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_decluster(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    total_pairs = 14 * 13 // 2
+    lines = [
+        "Ablation — decluster factor tradeoff (§2.3), 14-cub ring",
+        f"{'d':>3} {'streams/disk':>13} {'bw reserved':>12} "
+        f"{'vulnerable':>11} {'safe pairs':>11} {'duty@70% failed':>16}",
+    ]
+    for factor, streams, reserved, vulnerable, pairs, duty in rows:
+        duty_text = f"{duty:.2f}" if duty is not None else "-"
+        lines.append(
+            f"{factor:>3} {streams:>13.2f} {reserved:>11.0%} "
+            f"{vulnerable:>11} {pairs:>4}/{total_pairs:>3} {duty_text:>16}"
+        )
+    lines.append("")
+    lines.append("paper: d=4 reserves 1/5 of bandwidth, 8 machines "
+                 "critical; d=2 reserves 1/3, 4 machines critical")
+    write_result("ablation_decluster", lines)
+
+    by_factor = {row[0]: row for row in rows}
+
+    # Capacity rises with the decluster factor ...
+    streams = [row[1] for row in rows]
+    assert streams == sorted(streams)
+    # ... and so does vulnerability.
+    vulnerable = [row[3] for row in rows]
+    assert vulnerable == sorted(vulnerable)
+
+    # The paper's two calibration points.
+    assert by_factor[4][2] == pytest.approx(1 / 5)
+    assert by_factor[2][2] == pytest.approx(1 / 3)
+    assert by_factor[4][3] == 8
+    assert by_factor[2][3] == 4
+
+    # Fewer safe failure pairs at higher decluster.
+    assert by_factor[2][4] > by_factor[4][4]
+
+    # Measured failed-mode duty: decluster 2's covering cubs each carry
+    # half the dead cub's load; decluster 4's carry a quarter — at the
+    # same offered load the d=2 coverers must be busier.
+    assert by_factor[2][5] > by_factor[4][5]

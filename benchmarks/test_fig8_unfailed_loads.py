@@ -1,0 +1,108 @@
+"""Figure 8: Tiger loads with no cubs failed.
+
+The paper ramps a 14-cub / 56-disk / 602-stream system from idle to
+full capacity in steps of 30 streams, measuring at each step: mean cub
+CPU (rises linearly), controller CPU (flat, independent of load), disk
+duty cycle (linear), and control traffic from one cub to all others
+(linear, under 21 Kbytes/s at full load).
+
+We run the same ramp on the simulated testbed with shortened
+measurement windows and assert those four shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TigerSystem, paper_config
+from repro.workloads import ContinuousWorkload, RampDriver
+
+from conftest import linear_fit, write_result
+
+TARGET_STREAMS = 602
+STEP = 30
+
+
+def run_unfailed_ramp():
+    system = TigerSystem(paper_config(), seed=101)
+    system.add_standard_content(num_files=64, duration_s=420)
+    workload = ContinuousWorkload(system)
+    metrics = system.metrics(probe_cub=5)
+    driver = RampDriver(
+        system,
+        workload,
+        metrics,
+        target_streams=TARGET_STREAMS,
+        streams_per_step=STEP,
+        settle_time=3.0,
+        measure_time=5.0,
+    )
+    result = driver.run()
+    system.finalize_clients()
+    return system, result
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_unfailed_loads(benchmark):
+    system, result = benchmark.pedantic(
+        run_unfailed_ramp, rounds=1, iterations=1
+    )
+    samples = result.samples
+
+    lines = [
+        "Figure 8 — Tiger loads with no cubs failed",
+        f"{'streams':>8} {'load':>6} {'cub_cpu':>8} {'ctrl_cpu':>9} "
+        f"{'disk':>6} {'control_B/s':>12}",
+    ]
+    for sample in samples:
+        lines.append(
+            f"{sample.active_streams:>8} {sample.schedule_load:>6.2f} "
+            f"{sample.cub_cpu_mean:>8.3f} {sample.controller_cpu:>9.4f} "
+            f"{sample.disk_util_mean:>6.3f} {sample.control_traffic_bps:>12.0f}"
+        )
+    lines.append("")
+    lines.append("paper shape: cub CPU & disk load linear in streams; "
+                 "controller flat; control traffic < 21 KB/s")
+    write_result("fig8_unfailed_loads", lines)
+
+    streams = [float(sample.active_streams) for sample in samples]
+    cub_cpu = [sample.cub_cpu_mean for sample in samples]
+    disk = [sample.disk_util_mean for sample in samples]
+    controller = [sample.controller_cpu for sample in samples]
+    control = [sample.control_traffic_bps for sample in samples]
+
+    # The ramp actually filled the machine.
+    assert streams[-1] >= 0.97 * TARGET_STREAMS
+
+    # Cub CPU increases linearly in the number of streams (r^2 high,
+    # positive slope), and stays below saturation.
+    slope, _, r_squared = linear_fit(streams, cub_cpu)
+    assert slope > 0
+    assert r_squared > 0.98, f"cub CPU not linear: r^2={r_squared:.3f}"
+    assert max(cub_cpu) < 0.95
+
+    # Disk load likewise linear; at rated (unfailed) load the disks run
+    # below full duty — the mirroring reserve (§2.3).
+    slope, _, r_squared = linear_fit(streams, disk)
+    assert slope > 0
+    assert r_squared > 0.98, f"disk load not linear: r^2={r_squared:.3f}"
+    assert 0.5 < max(disk) < 0.9
+
+    # Controller load does not depend on system load: the fitted line
+    # explains (almost) nothing and its magnitude stays small.
+    assert max(controller) < 0.1
+    spread = max(controller) - min(controller)
+    assert spread < 0.05, "controller CPU should be flat across the ramp"
+
+    # Control traffic from one cub is linear and within the paper's
+    # envelope (<21 KB/s at 602 streams).
+    slope, _, r_squared = linear_fit(streams, control)
+    assert slope > 0
+    assert r_squared > 0.9
+    assert max(control) < 21_000
+
+    # Delivery stayed essentially lossless (the paper: 1 in ~180k).
+    delivered = system.total_client_received()
+    missed = system.total_client_missed() + system.total_client_late()
+    assert delivered > 50_000
+    assert missed <= max(5, delivered // 20_000)

@@ -1,0 +1,104 @@
+"""§3.2's bottleneck claim, made quantitative (extension).
+
+"The time to read a block from a disk includes a constant seek
+overhead, while the time to send one to the network does not, so small
+blocks use proportionally more disk than network.  Consequently, in a
+multiple bitrate Tiger system whether the network or disk limits
+performance may depend on the current set of playing files.  Different
+parts of the same schedule may have different limiting factors."
+
+We admit uniform-rate mixes to saturation across a sweep of bitrates
+and record which resource binds, plus a mixed-rate row showing both
+resources loaded at once.  A second sweep with the paper's own NIC
+(OC-3, 155 Mbit/s vs 4 x ~42 Mbit/s disks) confirms §5's observation
+that *that* configuration is always disk-limited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mbr.system import run_mix_experiment
+
+from conftest import write_result
+
+#: A NIC small enough relative to 4 drives that large blocks flip the
+#: bottleneck (see the benchmark docstring).
+CROSSOVER_NIC = 100e6
+RATES = [0.25e6, 0.5e6, 1e6, 2e6, 4e6, 8e6]
+
+
+def run_sweep():
+    rows = []
+    for rate in RATES:
+        row = run_mix_experiment(
+            [rate], duration=12.0, nic_bps=CROSSOVER_NIC, seed=int(rate)
+        )
+        rows.append((rate, row))
+    mixed = run_mix_experiment(
+        [0.5e6, 8e6], duration=12.0, nic_bps=CROSSOVER_NIC, seed=77
+    )
+    paper_nic = run_mix_experiment(
+        [2e6], duration=12.0, nic_bps=155e6, seed=88
+    )
+    return rows, mixed, paper_nic
+
+
+@pytest.mark.benchmark(group="mbr")
+def test_mbr_bottleneck_crossover(benchmark):
+    rows, mixed, paper_nic = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [
+        "§3.2 — which resource limits a multiple-bitrate cub "
+        f"(4 disks, {CROSSOVER_NIC/1e6:.0f} Mbit NIC)",
+        f"{'bitrate':>9} {'streams':>8} {'disk util':>10} {'net util':>9} "
+        f"{'limiting':>9} {'miss rate':>10}",
+    ]
+    for rate, row in rows:
+        limiting = "disk" if row["limiting"] else "network"
+        lines.append(
+            f"{rate/1e6:>7.2f}M {row['streams']:>8.0f} "
+            f"{row['disk_utilization_model']:>10.2f} "
+            f"{row['network_utilization_model']:>9.2f} {limiting:>9} "
+            f"{row['miss_rate']:>10.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"mixed 0.5M+8M rates: disk {mixed['disk_utilization_model']:.2f}, "
+        f"net {mixed['network_utilization_model']:.2f} — both loaded at once"
+    )
+    lines.append(
+        f"paper's own NIC (155 Mbit): disk util "
+        f"{paper_nic['disk_utilization_model']:.2f} vs net "
+        f"{paper_nic['network_utilization_model']:.2f} -> disk-limited, "
+        f"matching §5 ('the disks are the limiting factor')"
+    )
+    write_result("mbr_bottleneck_crossover", lines)
+
+    by_rate = {rate: row for rate, row in rows}
+    # Small blocks: seek-dominated, disk binds.
+    assert by_rate[0.25e6]["limiting"] == 1.0
+    assert by_rate[0.5e6]["limiting"] == 1.0
+    # Large blocks: the NIC binds.
+    assert by_rate[4e6]["limiting"] == 0.0
+    assert by_rate[8e6]["limiting"] == 0.0
+    # There IS a crossover (monotone flip somewhere in between).
+    flips = sum(
+        1
+        for earlier, later in zip(RATES, RATES[1:])
+        if by_rate[earlier]["limiting"] != by_rate[later]["limiting"]
+    )
+    assert flips == 1, "expected exactly one disk->network crossover"
+
+    # Admission keeps every admitted mix deadline-clean (EDF feasible).
+    for rate, row in rows:
+        assert row["miss_rate"] < 0.01
+
+    # Streams admitted fall as the per-stream footprint grows.
+    streams = [row["streams"] for _, row in rows]
+    assert streams == sorted(streams, reverse=True)
+
+    # The paper's own configuration is disk-limited.
+    assert paper_nic["disk_utilization_model"] > paper_nic[
+        "network_utilization_model"
+    ]

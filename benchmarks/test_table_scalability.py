@@ -1,0 +1,146 @@
+"""§3.3 scalability analysis: central vs distributed schedule control.
+
+The paper's argument for distributing the schedule: a central
+controller must send one ~100-byte command per stream per block play
+time — 3-4 Mbytes/s at 40,000 streams / 1,000 cubs, beyond a mid-90s
+PC's TCP stack — while in the distributed design each cub's control
+traffic stays constant (<21 KB/s) no matter how large the system grows.
+
+We measure both designs in simulation at several sizes (at constant
+per-cub load) and extend the curves analytically to the paper's
+1,000-cub example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TigerSystem, TigerConfig
+from repro.core.centralized import (
+    CentralizedController,
+    CommandCub,
+    central_control_rate,
+    distributed_control_rate_per_cub,
+)
+from repro.core.slots import SlotClock
+from repro.net.node import NetworkNode
+from repro.net.switch import SwitchedNetwork
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.workloads import ContinuousWorkload
+
+from conftest import write_result
+
+SYSTEM_SIZES = [4, 8, 12]
+STREAMS_PER_CUB = 8
+
+
+def small_cfg(num_cubs: int) -> TigerConfig:
+    return TigerConfig(
+        num_cubs=num_cubs,
+        disks_per_cub=2,
+        decluster=2,
+        streams_per_disk_override=STREAMS_PER_CUB / 2,
+    )
+
+
+class NullClient(NetworkNode):
+    def handle_message(self, message):
+        pass
+
+
+def measure_distributed(num_cubs: int) -> float:
+    """Mean per-cub control egress at constant per-cub load."""
+    system = TigerSystem(small_cfg(num_cubs), seed=num_cubs)
+    system.add_standard_content(num_files=2 * num_cubs, duration_s=240)
+    workload = ContinuousWorkload(system)
+    workload.add_streams(num_cubs * STREAMS_PER_CUB)
+    system.run_for(30.0)
+    for cub in system.cubs:
+        system.network.control_bytes_from[cub.address].snapshot(system.sim.now)
+    system.run_for(15.0)
+    rates = [
+        system.network.control_bytes_from[cub.address].snapshot(system.sim.now)
+        for cub in system.cubs
+    ]
+    return sum(rates) / len(rates)
+
+
+def measure_central(num_cubs: int) -> float:
+    """Controller control egress for the same load, centrally run."""
+    sim = Simulator()
+    rngs = RngRegistry(num_cubs)
+    config = small_cfg(num_cubs)
+    layout = StripeLayout(config.num_cubs, config.disks_per_cub)
+    clock = SlotClock(config.num_disks, config.num_slots, config.block_play_time)
+    catalog = Catalog(config.block_play_time, config.num_disks)
+    network = SwitchedNetwork(sim, rngs)
+    for index in range(config.num_cubs):
+        network.register(CommandCub(sim, index, config, catalog, network), 155e6)
+    controller = CentralizedController(sim, config, layout, catalog, clock, network)
+    network.register(controller, 155e6)
+    network.register(NullClient(sim, "client:0"), 1e9)
+    for index in range(2 * num_cubs):
+        catalog.add_file(f"f{index}", 2e6, 240.0)
+    for index in range(num_cubs * STREAMS_PER_CUB):
+        controller.start_viewer(f"client:0#{index}", index, index % len(catalog))
+    # Warm up past one full ring revolution so every admitted viewer's
+    # command chain is running before the window opens.
+    sim.run(until=30.0)
+    network.control_bytes_from[controller.address].snapshot(sim.now)
+    sim.run(until=60.0)
+    return network.control_bytes_from[controller.address].snapshot(sim.now)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_table_scalability(benchmark):
+    def run_all():
+        central = [measure_central(size) for size in SYSTEM_SIZES]
+        distributed = [measure_distributed(size) for size in SYSTEM_SIZES]
+        return central, distributed
+
+    central, distributed = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "§3.3 — control traffic: central controller vs distributed per-cub",
+        f"(simulated at constant {STREAMS_PER_CUB} streams/cub)",
+        f"{'cubs':>5} {'streams':>8} {'central B/s':>12} "
+        f"{'per-cub B/s':>12}",
+    ]
+    for size, c_rate, d_rate in zip(SYSTEM_SIZES, central, distributed):
+        lines.append(
+            f"{size:>5} {size * STREAMS_PER_CUB:>8} {c_rate:>12.0f} "
+            f"{d_rate:>12.0f}"
+        )
+    lines.append("")
+    lines.append("analytic extension (paper's example):")
+    for cubs, streams in [(14, 602), (1000, 40_000)]:
+        lines.append(
+            f"{cubs:>5} {streams:>8} "
+            f"{central_control_rate(streams):>12.0f} "
+            f"{distributed_control_rate_per_cub(streams, cubs):>12.0f}"
+        )
+    lines.append("")
+    lines.append("paper shape: central grows linearly to 3-4 MB/s at 40k "
+                 "streams; distributed per-cub flat (<21 KB/s)")
+    write_result("table_scalability", lines)
+
+    # Central controller traffic grows ~linearly with system size.
+    assert central[-1] > 2.0 * central[0]
+    ratio = central[-1] / central[0]
+    expected = SYSTEM_SIZES[-1] / SYSTEM_SIZES[0]
+    assert 0.6 * expected < ratio < 1.5 * expected
+
+    # Distributed per-cub traffic is flat across sizes.
+    assert max(distributed) < 1.6 * min(distributed)
+
+    # The measured rates line up with the analytic models.
+    for size, c_rate in zip(SYSTEM_SIZES, central):
+        model = central_control_rate(size * STREAMS_PER_CUB)
+        assert 0.5 * model < c_rate < 2.0 * model
+
+    # And the paper's headline numbers fall out of the analytic curve.
+    assert 3e6 < central_control_rate(40_000) < 4.5e6
+    assert distributed_control_rate_per_cub(40_000, 1000) < 21_000

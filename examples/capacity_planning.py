@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Capacity planning with the Tiger model (§2.3, §3.1, §3.3).
+
+Walks through the arithmetic an operator would do before deploying:
+
+* per-disk stream capacity from the zoned-disk model and the decluster
+  factor (including the failed-mode reserve);
+* the decluster tradeoff: bandwidth reserved vs machines a second
+  failure may hit;
+* restripe cost when growing the system — and why it does not depend
+  on system size;
+* the §3.3 distributed-vs-central control traffic comparison.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.config import TigerConfig, paper_config
+from repro.core.centralized import scalability_table
+from repro.disk.model import (
+    DiskParameters,
+    unfailed_utilization_at_capacity,
+    worst_case_streams_per_disk,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+from repro.storage.restripe import estimate_restripe_time, plan_restripe
+
+
+def disk_capacity() -> None:
+    print("=== Per-disk capacity vs decluster factor (0.25 MB blocks) ===")
+    params = DiskParameters()
+    print(f"  {'decluster':>9} {'streams/disk':>12} {'bw reserved':>12} "
+          f"{'unfailed duty':>13}")
+    for decluster in (1, 2, 4, 8):
+        streams = worst_case_streams_per_disk(params, 250_000, decluster)
+        scheme = MirrorScheme(StripeLayout(14, 4), decluster)
+        duty = unfailed_utilization_at_capacity(params, 250_000, decluster)
+        print(f"  {decluster:>9} {streams:>12.2f} "
+              f"{scheme.bandwidth_reserved_fraction():>11.0%} {duty:>13.0%}")
+    print("  (paper: decluster 4 reserves a fifth of bandwidth; its disks "
+          "measured 10.75 streams)\n")
+
+
+def vulnerability() -> None:
+    print("=== Second-failure vulnerability (14-cub ring) ===")
+    layout = StripeLayout(14, 4)
+    for decluster in (2, 4):
+        scheme = MirrorScheme(layout, decluster)
+        vulnerable = scheme.second_failure_vulnerable_cubs(5)
+        survivable = scheme.survivable_failure_pairs()
+        total_pairs = 14 * 13 // 2
+        print(f"  decluster {decluster}: a failure of cub 5 leaves "
+              f"{len(vulnerable)} machines critical {vulnerable};")
+        print(f"      {survivable}/{total_pairs} cub pairs may fail jointly "
+              f"without data loss")
+    print()
+
+
+def restripe_cost() -> None:
+    print("=== Restripe time when adding one cub (does NOT grow with N) ===")
+    for cubs in (7, 14, 28):
+        old = StripeLayout(cubs, 4)
+        new = StripeLayout(cubs + 1, 4)
+        catalog = Catalog(1.0, old.num_disks)
+        # Same content per disk at every scale: N disks x 20 minutes.
+        for index in range(old.num_disks):
+            catalog.add_file(f"f{index}", 2e6, 1200.0)
+        sizes = {entry.file_id: 250_000 for entry in catalog.files()}
+        plan = plan_restripe(old, new, catalog.files(), sizes)
+        wall = estimate_restripe_time(
+            plan, disk_read_rate=5.2e6, disk_write_rate=4.5e6,
+            cub_network_rate=12e6,
+        )
+        print(f"  {cubs:>2} -> {cubs+1:>2} cubs: move "
+              f"{plan.total_bytes/1e9:6.1f} GB total, "
+              f"wall-clock ~{wall/60:5.1f} min")
+    print("  (total bytes grow with the system; wall-clock stays flat — "
+          "the switch scales)\n")
+
+
+def control_traffic() -> None:
+    print("=== §3.3: central controller vs distributed per-cub traffic ===")
+    rows = scalability_table([14, 56, 224, 1000])
+    print(f"  {'cubs':>5} {'streams':>8} {'central ctrl':>14} "
+          f"{'per-cub (dist.)':>16}")
+    for row in rows:
+        print(f"  {row['cubs']:>5} {row['streams']:>8} "
+              f"{row['central_controller_Bps']/1e6:>11.2f} MB/s "
+              f"{row['distributed_per_cub_Bps']/1e3:>12.1f} KB/s")
+    print("  (the paper's 1000-cub example: 3-4 MB/s centrally vs a flat "
+          "~10-20 KB/s per cub)\n")
+
+
+def system_summary() -> None:
+    config = paper_config()
+    print("=== The paper's testbed, derived ===")
+    print(f"  {config.num_cubs} cubs x {config.disks_per_cub} disks, "
+          f"{config.max_bitrate_bps/1e6:.0f} Mbit/s streams")
+    print(f"  schedule: {config.num_slots} slots x "
+          f"{config.block_service_time*1000:.1f} ms over "
+          f"{config.schedule_duration:.0f} s")
+    print(f"  per-block: {config.block_bytes//1000} KB primary + "
+          f"{config.decluster} x {config.mirror_piece_bytes()//1000} KB "
+          f"mirror pieces")
+
+
+if __name__ == "__main__":
+    disk_capacity()
+    vulnerability()
+    restripe_cost()
+    control_traffic()
+    system_summary()

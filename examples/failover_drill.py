@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Failover drill: cut power to a cub and watch mirror takeover (§2.3).
+
+Reproduces the paper's reconfiguration experiment: load the system to
+50% of capacity, kill a cub, and measure the window between the
+earliest and latest lost block (the paper saw ~8 seconds).  Then show
+that declustered mirroring spreads the dead cub's work across its
+successors and that service continues indefinitely.
+
+Run:  python examples/failover_drill.py
+"""
+
+from repro import TigerSystem, small_config
+from repro.workloads import ContinuousWorkload
+
+
+def main() -> None:
+    system = TigerSystem(small_config(), seed=7)
+    system.add_standard_content(num_files=8, duration_s=300)
+    workload = ContinuousWorkload(system)
+
+    half_capacity = system.config.num_slots // 2
+    workload.add_streams(half_capacity)
+    system.run_for(15.0)
+    print(f"Running {system.oracle.num_occupied} streams "
+          f"({system.oracle.load:.0%} of capacity), no failures: "
+          f"{system.total_client_missed()} client-reported losses")
+
+    victim = 1
+    failure_time = system.sim.now
+    print(f"\n*** t={failure_time:.1f}s: cutting power to cub {victim} "
+          f"(disks {list(system.cubs[victim].disks)}) ***")
+    print(f"    deadman timeout: {system.config.deadman_timeout:.0f} s")
+    print(f"    mirror pieces for its disks live on cubs "
+          f"{system.mirror.covering_cubs(victim)}")
+    system.fail_cub(victim)
+
+    system.run_for(60.0)
+    system.finalize_clients()
+
+    loss_times = sorted(
+        when
+        for client in system.clients
+        for monitor in client.all_monitors()
+        for when in monitor.loss_times
+    )
+    if loss_times:
+        window = loss_times[-1] - loss_times[0]
+        print(f"\nClient logs: {len(loss_times)} lost blocks between "
+              f"t={loss_times[0]:.1f}s and t={loss_times[-1]:.1f}s")
+        print(f"Reconfiguration window: {window:.1f} s "
+              f"(paper measured ~8 s on real hardware)")
+    else:
+        print("\nNo blocks lost (unexpectedly clean failover)")
+
+    print(f"\nMirror service since the failure:")
+    for cub in system.cubs:
+        if cub.mirror_pieces_sent.count:
+            print(f"  {cub.name}: {cub.mirror_pieces_sent.count} secondary "
+                  f"pieces sent, disks at {cub.mean_disk_utilization():.0%}")
+
+    # Streams keep flowing: measure a clean post-failover minute.
+    received_before = system.total_client_received()
+    missed_before = system.total_client_missed()
+    system.run_for(30.0)
+    system.finalize_clients()
+    print(f"\nSteady failed-mode check (30 s): "
+          f"{system.total_client_received() - received_before} blocks "
+          f"delivered, "
+          f"{system.total_client_missed() - missed_before} lost")
+    system.assert_invariants()
+    print("Schedule invariants held throughout the failure.")
+
+
+if __name__ == "__main__":
+    main()

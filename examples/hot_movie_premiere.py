@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Premiere night: every viewer wants the same movie (§2.2's motivation).
+
+Video servers that place whole movies on single machines must replicate
+hot content to survive skewed demand.  Tiger's answer is striping:
+"the system will not overload even if all of the viewers request the
+same file, assuming that they are equitemporally spaced.  If they are
+not, Tiger will delay starting streams in order to enforce
+equitemporal spacing."
+
+This example fills a system to capacity with viewers of ONE file and
+shows (a) per-component load stays balanced, and (b) the enforced
+spacing appears as insertion delay, not overload.
+
+Run:  python examples/hot_movie_premiere.py
+"""
+
+from repro import TigerSystem, small_config
+from repro.sim.stats import summarize
+
+
+def main() -> None:
+    system = TigerSystem(small_config(), seed=99)
+    premiere = system.add_file("the-tiger-king", duration_s=600)
+    # A little cold content for contrast.
+    system.add_file("b-roll", duration_s=600)
+
+    clients = system.add_clients(2)
+    capacity = system.config.num_slots
+    print(f"Premiere: {capacity} viewers all requesting "
+          f"{premiere.name!r} at once\n")
+
+    instances = []
+    for index in range(capacity):
+        instances.append(
+            (clients[index % 2], clients[index % 2].start_stream(premiere.file_id))
+        )
+
+    system.run_for(40.0)
+
+    admitted = [
+        client.streams[instance]
+        for client, instance in instances
+        if client.streams[instance].startup_latency is not None
+    ]
+    latencies = [monitor.startup_latency for monitor in admitted]
+    stats = summarize(latencies)
+    print(f"Admitted {len(admitted)}/{capacity} viewers so far")
+    print(f"Startup delay: min {stats['min']:.2f}s  median {stats['p50']:.2f}s  "
+          f"p95 {stats['p95']:.2f}s  max {stats['max']:.2f}s")
+    print("(The spread IS the equitemporal spacing: each start waits for a "
+          "free slot\n to pass under the single disk holding block 0.)\n")
+
+    print("Component load while serving one single hot file:")
+    for cub in system.cubs:
+        bar = "#" * int(cub.mean_disk_utilization() * 40)
+        print(f"  {cub.name}: disks {cub.mean_disk_utilization():5.1%} {bar}")
+
+    utils = [cub.mean_disk_utilization() for cub in system.cubs]
+    spread = max(utils) - min(utils)
+    print(f"\nMax-min disk load spread: {spread:.1%} — no hotspot despite "
+          f"100% demand skew.")
+
+    # And nobody lost data:
+    system.finalize_clients()
+    print(f"Losses: {system.total_client_missed()} missed, "
+          f"{system.total_client_late()} late "
+          f"out of {system.total_client_received()} blocks delivered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: build a small Tiger, play a movie, watch the schedule.
+
+Builds a 4-cub system, stripes a few files across it, starts a handful
+of viewers, and prints what the coherent-hallucination machinery did:
+startup latencies, delivery statistics, per-cub load, and the bounded
+view sizes that make the design scale.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TigerSystem, small_config
+
+
+def main() -> None:
+    # A 4-cub, 8-disk Tiger with 2 Mbit/s streams and decluster-2
+    # mirroring; 32 streams of schedule capacity.
+    system = TigerSystem(small_config(), seed=42)
+    print(f"System: {system.config.num_cubs} cubs, "
+          f"{system.config.num_disks} disks, "
+          f"{system.config.num_slots} stream slots, "
+          f"block service time {system.config.block_service_time*1000:.1f} ms")
+
+    # Content is striped across every disk of every cub (§2.2).
+    for name, minutes in [("attack-of-the-cubs", 2), ("the-hallucination", 2),
+                          ("slot-machine", 1.5)]:
+        entry = system.add_file(name, duration_s=minutes * 60)
+        print(f"  striped {name!r}: {entry.num_blocks} blocks starting on "
+              f"disk {entry.start_disk}")
+
+    # One client machine playing several streams at once.
+    client = system.add_client()
+    instances = [client.start_stream(file_id=index % 3) for index in range(10)]
+
+    system.run_for(30.0)
+
+    print(f"\nAfter 30 s of simulated time "
+          f"({system.sim.events_dispatched} events):")
+    print(f"  schedule load: {system.oracle.num_occupied}/"
+          f"{system.config.num_slots} slots "
+          f"({system.oracle.load:.0%})")
+    for instance in instances[:3]:
+        monitor = client.streams[instance]
+        print(f"  stream {instance}: startup {monitor.startup_latency:.2f} s, "
+              f"{monitor.blocks_received} blocks, "
+              f"{monitor.blocks_missed} missed, {monitor.blocks_late} late")
+
+    print("\nPer-cub load (all within a few percent of each other — "
+          "striping balances):")
+    for cub in system.cubs:
+        print(f"  {cub.name}: cpu {cub.cpu_utilization():5.1%}  "
+              f"disks {cub.mean_disk_utilization():5.1%}  "
+              f"view {cub.view.size()} records")
+
+    # Stop two viewers; deschedule requests flood idempotently (§4.1.2).
+    client.stop_stream(instances[0])
+    client.stop_stream(instances[1])
+    system.run_for(10.0)
+    print(f"\nAfter stopping two viewers: "
+          f"{system.oracle.num_occupied}/{system.config.num_slots} slots")
+
+    # The hallucination stayed coherent throughout (or this raises).
+    system.assert_invariants()
+    print("Invariants hold: no slot ever held two viewers, views stayed "
+          "bounded.")
+
+
+if __name__ == "__main__":
+    main()

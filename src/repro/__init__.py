@@ -1,0 +1,47 @@
+"""Reproduction of "Distributed Schedule Management in the Tiger Video
+Fileserver" (Bolosky, Fitzgerald, Douceur — SOSP 1997).
+
+Public API
+----------
+Most users need only:
+
+>>> from repro import TigerSystem, paper_config, small_config
+>>> system = TigerSystem(small_config())
+>>> system.add_standard_content(num_files=4, duration_s=60)  # doctest: +ELLIPSIS
+[...]
+>>> client = system.add_client()
+>>> instance = client.start_stream(file_id=0)
+>>> system.run_for(10.0)
+>>> client.streams[instance].blocks_received > 0
+True
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (events, RNG streams, stats).
+``repro.net``
+    Switched network: NICs, fabric, ordered per-flow delivery.
+``repro.disk``
+    Zoned disk model with failure injection.
+``repro.storage``
+    Striped layout, catalog, block index, declustered mirroring,
+    restriping.
+``repro.core``
+    The schedule itself: slot arithmetic, viewer states, cubs,
+    controller, clients, deadman, metrics.
+``repro.workloads``
+    Ramp / startup-latency / failure drivers used by the benchmarks.
+"""
+
+from repro.config import TigerConfig, paper_config, small_config
+from repro.core.tiger import TigerSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TigerSystem",
+    "TigerConfig",
+    "paper_config",
+    "small_config",
+    "__version__",
+]

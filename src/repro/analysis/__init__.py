@@ -1,0 +1,18 @@
+"""Reporting utilities: EXPERIMENTS.md generation + schedule renderers."""
+
+from repro.analysis.render import (
+    render_disk_schedule,
+    render_network_schedule,
+    render_view_summary,
+)
+from repro.analysis.report import EXPERIMENT_ORDER, PAPER_CLAIMS, load_sections, render
+
+__all__ = [
+    "EXPERIMENT_ORDER",
+    "PAPER_CLAIMS",
+    "load_sections",
+    "render",
+    "render_disk_schedule",
+    "render_network_schedule",
+    "render_view_summary",
+]

@@ -1,0 +1,120 @@
+"""ASCII rendering of Tiger schedules — Figures 3 and 4 as text.
+
+Figure 3 of the paper draws the disk schedule as a slot array with
+per-disk pointers; Figure 4 draws the 2-D network schedule as stacked
+bandwidth boxes.  These renderers produce the same pictures in a
+terminal, for examples, debugging, and documentation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.netschedule import NetworkSchedule
+from repro.core.slots import SlotClock
+
+
+def render_disk_schedule(
+    clock: SlotClock,
+    occupancy: Dict[int, str],
+    now: float,
+    width: int = 72,
+    max_pointer_rows: int = 8,
+) -> str:
+    """Draw the slot ring with disk pointers (Figure 3 style).
+
+    ``occupancy`` maps slot -> short viewer label; free slots render as
+    dots.  Pointer rows mark where each disk currently is (a caret per
+    disk, up to ``max_pointer_rows`` disks).
+    """
+    if width < 16:
+        raise ValueError("width too small to draw anything useful")
+    slots_per_char = max(1, math.ceil(clock.num_slots / width))
+    columns = math.ceil(clock.num_slots / slots_per_char)
+
+    cells = []
+    for column in range(columns):
+        lo = column * slots_per_char
+        hi = min(lo + slots_per_char, clock.num_slots)
+        labels = [occupancy.get(slot) for slot in range(lo, hi)]
+        taken = [label for label in labels if label]
+        if not taken:
+            cells.append(".")
+        elif len(taken) == hi - lo:
+            cells.append(taken[0][0])
+        else:
+            cells.append("+")  # partially occupied group
+    bar = "".join(cells)
+
+    lines = [
+        f"disk schedule: {clock.num_slots} slots x "
+        f"{clock.block_service_time * 1000:.1f} ms "
+        f"({clock.duration:.1f} s ring), t={now:.2f}s",
+        "[" + bar + "]",
+    ]
+    for disk in range(min(clock.num_disks, max_pointer_rows)):
+        slot = clock.slot_under_pointer(disk, now)
+        column = min(slot // slots_per_char, columns - 1)
+        lines.append(" " + " " * column + "^" + f" disk {disk}")
+    if clock.num_disks > max_pointer_rows:
+        lines.append(f"  ... and {clock.num_disks - max_pointer_rows} more disks")
+    return "\n".join(lines)
+
+
+def render_network_schedule(
+    schedule: NetworkSchedule,
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """Draw the 2-D bandwidth/time plane (Figure 4 style).
+
+    Each column is a slice of ring time; its bar height is the NIC
+    load there, scaled so the full ``height`` is the NIC capacity.
+    """
+    if width < 8 or height < 2:
+        raise ValueError("rendering area too small")
+    loads = [
+        schedule.load_at(column * schedule.length / width)
+        for column in range(width)
+    ]
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = level / height * schedule.capacity_bps
+        row = "".join(
+            "#" if load >= threshold - 1e-9 else " " for load in loads
+        )
+        marker = (
+            f"{schedule.capacity_bps / 1e6:5.0f}M |"
+            if level == height
+            else "      |"
+        )
+        rows.append(marker + row)
+    rows.append("      +" + "-" * width)
+    rows.append(
+        f"       0{'':{width - 8}}{schedule.length:.0f}s   "
+        f"({len(schedule)} entries, {schedule.utilization():.0%} of plane)"
+    )
+    return "\n".join(rows)
+
+
+def render_view_summary(system: "object") -> str:
+    """One line per cub: where its pointers are and what it knows —
+    the textual form of the paper's Figure 7 comparison of views."""
+    lines = []
+    now = system.sim.now
+    for cub in system.cubs:
+        status = "FAILED" if cub.failed else "alive"
+        slots = cub.view.known_slots()
+        window = (
+            f"slots {min(slots)}..{max(slots)} ({len(slots)} known)"
+            if slots
+            else "no schedule knowledge"
+        )
+        believed = sorted(cub.deadman.believed_failed)
+        suffix = f", believes failed: {believed}" if believed else ""
+        lines.append(
+            f"cub {cub.cub_id} [{status}]: view {cub.view.size()} records, "
+            f"{window}{suffix}"
+        )
+    return "\n".join(lines)

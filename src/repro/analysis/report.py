@@ -1,0 +1,198 @@
+"""Assemble EXPERIMENTS.md from the benchmark result tables.
+
+Each benchmark writes its rows to ``benchmarks/results/<name>.txt``.
+This tool stitches them together with the paper's reported numbers so
+the paper-vs-measured record stays mechanically in sync with the last
+benchmark run:
+
+    python -m repro.analysis.report [--results DIR] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: What the paper reports, per experiment, independent of our runs.
+PAPER_CLAIMS = {
+    "fig8_unfailed_loads": (
+        "Figure 8 — loads with no cubs failed",
+        "Cub CPU rises linearly with stream count; controller CPU flat and "
+        "independent of load; disk duty linear; control traffic from one "
+        "cub under 21 KB/s at 602 streams.",
+    ),
+    "fig9_failed_loads": (
+        "Figure 9 — loads with one cub failed",
+        "All 602 streams still delivered; mirroring cubs' disks above 95% "
+        "duty cycle at full load; cub CPU at most ~85%; control traffic "
+        "from a mirroring cub roughly double the unfailed level.",
+    ),
+    "fig10_startup_latency": (
+        "Figure 10 — stream startup latency (4050 starts)",
+        "~1.8 s floor below 50% load (1 s block transmission + ~800 ms "
+        "latency and scheduling lead); mean under 5 s at 95% load; a "
+        "reasonable number of >20 s outliers; some insertions took about "
+        "as long as the whole 56 s schedule.",
+    ),
+    "table_block_loss": (
+        "In-text loss table",
+        "Unfailed: 15 server + 8 client losses / 4.1 M blocks "
+        "(~1:180,000). Failed ramp: 46 / 3.6 M (~1:78,000). Failed steady "
+        "full load: 54 / 2.1 M (~1:40,000). All server losses were late "
+        "disk reads.",
+    ),
+    "reconfiguration_window": (
+        "Reconfiguration measurement",
+        "Power cut to one cub at 50% load: about 8 seconds between the "
+        "earliest and latest lost block in the clients' logs.",
+    ),
+    "table_scalability": (
+        "§3.3 scalability analysis",
+        "A central controller would need 3-4 MB/s of control sends at "
+        "40,000 streams / 1,000 cubs — beyond the era's PCs; distributed "
+        "per-cub control traffic stays constant regardless of scale.",
+    ),
+    "netschedule_fragmentation": (
+        "§3.2 network-schedule fragmentation",
+        "Arbitrary start times fragment the 2-D schedule badly; starting "
+        "viewers at multiples of block_play_time/decluster keeps "
+        "fragmentation acceptable.",
+    ),
+    "table_restripe": (
+        "§2.2 restriping",
+        "Restripe time does not depend on the size of the system, only on "
+        "the size and speed of the cubs and their disks.",
+    ),
+    "ablation_decluster": (
+        "§2.3 decluster tradeoff (ablation)",
+        "Decluster 4 reserves 1/5 of bandwidth but a second failure on any "
+        "of 8 machines loses data; decluster 2 reserves 1/3 and survives "
+        "failures more than two cubs apart.",
+    ),
+    "ablation_forwarding": (
+        "§4.1.1 double-forwarding design choice (ablation)",
+        "Single forwarding would halve viewer-state traffic, but any cub "
+        "failure loses the schedule information in flight to it, plus the "
+        "blocks of subsequent cubs that never received the states.",
+    ),
+    "ablation_leads": (
+        "§4.1.1 lead-window design choice (ablation)",
+        "minVStateLead tolerates latency variation and lets disks read "
+        "early; bounding maxVStateLead keeps per-cub state independent of "
+        "system size; the gap enables batching (typical: 4 s / 9 s).",
+    ),
+    "ablation_admission": (
+        "§5 admission guard (ablation)",
+        "Tiger contains code to prevent schedule insertions beyond a "
+        "certain level, disabled for the paper's tests; without it, "
+        "near-100% insertions can wait about the whole 56 s schedule, "
+        "hence the recommendation to run below 90% load.",
+    ),
+    "ablation_deadman": (
+        "deadman timeout sensitivity (ablation)",
+        "The ~8 s reconfiguration window is the failure-detection "
+        "latency; the ablation sweeps the deadman timeout and shows the "
+        "lost-block count and window scale with it.",
+    ),
+    "mbr_bottleneck_crossover": (
+        "§3.2 multi-bitrate bottleneck (extension)",
+        "Small blocks use proportionally more disk than network (seek "
+        "overhead), so whether the network or the disk limits a "
+        "multiple-bitrate Tiger depends on the current set of playing "
+        "files; the paper's own OC-3/4-disk cubs were always "
+        "disk-limited.",
+    ),
+}
+
+#: Presentation order.
+EXPERIMENT_ORDER = [
+    "fig8_unfailed_loads",
+    "fig9_failed_loads",
+    "fig10_startup_latency",
+    "table_block_loss",
+    "reconfiguration_window",
+    "table_scalability",
+    "netschedule_fragmentation",
+    "table_restripe",
+    "ablation_decluster",
+    "ablation_forwarding",
+    "ablation_leads",
+    "ablation_admission",
+    "ablation_deadman",
+    "mbr_bottleneck_crossover",
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure in the paper's evaluation (plus the analyses its
+text makes qualitatively), reproduced by the benchmarks in
+`benchmarks/`.  Measured sections below are the literal output of the
+last `pytest benchmarks/ --benchmark-only` run (regenerate this file
+with `python -m repro.analysis.report`).
+
+Reading guide: our substrate is a calibrated simulation, so absolute
+numbers differ from the 1997 testbed; the reproduction target is the
+**shape** of each result — which curves are linear, which are flat, who
+wins by what factor, where the knees fall.  Each benchmark asserts its
+shape claims, so a green benchmark run *is* the reproduction check.
+"""
+
+
+@dataclass
+class Section:
+    name: str
+    title: str
+    paper: str
+    measured: Optional[str]
+
+
+def load_sections(results_dir: str) -> List[Section]:
+    sections = []
+    for name in EXPERIMENT_ORDER:
+        title, paper = PAPER_CLAIMS[name]
+        path = os.path.join(results_dir, f"{name}.txt")
+        measured = None
+        if os.path.exists(path):
+            with open(path) as handle:
+                measured = handle.read().rstrip()
+        sections.append(Section(name, title, paper, measured))
+    return sections
+
+
+def render(sections: List[Section]) -> str:
+    parts = [HEADER]
+    for section in sections:
+        parts.append(f"\n## {section.title}\n")
+        parts.append(f"**Paper:** {section.paper}\n")
+        if section.measured is None:
+            parts.append(
+                "**Measured:** _not yet run — execute "
+                f"`pytest benchmarks/ --benchmark-only` to generate "
+                f"`benchmarks/results/{section.name}.txt`_\n"
+            )
+        else:
+            parts.append("**Measured:**\n")
+            parts.append("```text")
+            parts.append(section.measured)
+            parts.append("```\n")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_results = os.path.join("benchmarks", "results")
+    parser.add_argument("--results", default=default_results)
+    parser.add_argument("--output", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    document = render(load_sections(args.results))
+    with open(args.output, "w") as handle:
+        handle.write(document)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

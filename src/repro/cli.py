@@ -1,0 +1,169 @@
+"""Command-line interface: quick Tiger runs without writing a script.
+
+Subcommands:
+
+* ``demo``     — run a small system with N streams, print delivery stats
+                 and the Figure 3/7-style view of the schedule;
+* ``failover`` — run the §5 reconfiguration drill and print the loss
+                 window;
+* ``capacity`` — print the derived capacity numbers for a configuration;
+* ``report``   — regenerate EXPERIMENTS.md from benchmark results.
+
+Usage::
+
+    python -m repro.cli demo --streams 12 --seconds 30
+    python -m repro.cli failover --load 0.5
+    python -m repro.cli capacity --cubs 14 --disks 4
+    python -m repro.cli report
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro import TigerSystem, TigerConfig, paper_config, small_config
+from repro.analysis.render import render_disk_schedule, render_view_summary
+from repro.workloads import ContinuousWorkload
+
+
+def _build_system(args) -> TigerSystem:
+    config = paper_config() if args.paper else small_config()
+    system = TigerSystem(config, seed=args.seed)
+    system.add_standard_content(
+        num_files=args.files, duration_s=args.file_seconds
+    )
+    return system
+
+
+def cmd_demo(args) -> int:
+    system = _build_system(args)
+    workload = ContinuousWorkload(system)
+    workload.add_streams(args.streams)
+    system.run_for(args.seconds)
+    system.finalize_clients()
+
+    print(f"t={system.sim.now:.1f}s  "
+          f"{system.oracle.num_occupied}/{system.config.num_slots} slots "
+          f"({system.oracle.load:.0%} load)")
+    print(f"delivered {system.total_client_received()} blocks, "
+          f"missed {system.total_client_missed()}, "
+          f"late {system.total_client_late()}")
+    latencies = workload.startup_latencies()
+    if latencies:
+        print(f"startup latency: min {min(latencies):.2f}s "
+              f"mean {sum(latencies)/len(latencies):.2f}s "
+              f"max {max(latencies):.2f}s")
+    print()
+    occupancy = {
+        slot: system.oracle.occupant(slot).viewer_id
+        for slot in system.oracle.occupied_slots()
+    }
+    print(render_disk_schedule(system.clock, occupancy, system.sim.now))
+    print()
+    print(render_view_summary(system))
+    system.assert_invariants()
+    return 0
+
+
+def cmd_failover(args) -> int:
+    system = _build_system(args)
+    workload = ContinuousWorkload(system)
+    target = int(system.config.num_slots * args.load)
+    workload.add_streams(target)
+    system.run_for(15.0)
+    failure_time = system.sim.now
+    print(f"t={failure_time:.1f}s: failing cub {args.victim}")
+    system.fail_cub(args.victim)
+    system.run_for(args.seconds)
+    system.finalize_clients()
+    losses = sorted(
+        when
+        for client in system.clients
+        for monitor in client.all_monitors()
+        for when in monitor.loss_times
+    )
+    if losses:
+        print(f"{len(losses)} blocks lost between "
+              f"t={losses[0]:.1f}s and t={losses[-1]:.1f}s "
+              f"(window {losses[-1] - losses[0]:.1f}s; paper: ~8 s)")
+    else:
+        print("no losses recorded")
+    print(f"mirror pieces sent: {system.total_mirror_pieces_sent()}")
+    system.assert_invariants()
+    return 0
+
+
+def cmd_capacity(args) -> int:
+    config = TigerConfig(
+        num_cubs=args.cubs,
+        disks_per_cub=args.disks,
+        decluster=args.decluster,
+    )
+    print(f"{config.num_cubs} cubs x {config.disks_per_cub} disks "
+          f"(decluster {config.decluster}):")
+    print(f"  streams/disk (incl. failed-mode reserve): "
+          f"{config.streams_per_disk:.2f}")
+    print(f"  system capacity: {config.num_slots} streams")
+    print(f"  schedule: {config.schedule_duration:.0f}s ring, "
+          f"{config.block_service_time * 1000:.1f} ms slots")
+    print(f"  block: {config.block_bytes // 1000} KB primary + "
+          f"{config.decluster} x {config.mirror_piece_bytes() // 1000} KB "
+          f"pieces")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import main as report_main
+
+    return report_main(
+        ["--results", args.results, "--output", args.output]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub):
+        sub.add_argument("--paper", action="store_true",
+                         help="use the 14-cub paper configuration")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--files", type=int, default=8)
+        sub.add_argument("--file-seconds", type=float, default=240.0)
+
+    demo = subparsers.add_parser("demo", help="run and inspect a system")
+    common(demo)
+    demo.add_argument("--streams", type=int, default=12)
+    demo.add_argument("--seconds", type=float, default=30.0)
+    demo.set_defaults(func=cmd_demo)
+
+    failover = subparsers.add_parser("failover", help="reconfiguration drill")
+    common(failover)
+    failover.add_argument("--load", type=float, default=0.5)
+    failover.add_argument("--victim", type=int, default=1)
+    failover.add_argument("--seconds", type=float, default=45.0)
+    failover.set_defaults(func=cmd_failover)
+
+    capacity = subparsers.add_parser("capacity", help="derived capacity")
+    capacity.add_argument("--cubs", type=int, default=14)
+    capacity.add_argument("--disks", type=int, default=4)
+    capacity.add_argument("--decluster", type=int, default=4)
+    capacity.set_defaults(func=cmd_capacity)
+
+    report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

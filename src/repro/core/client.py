@@ -1,0 +1,316 @@
+"""Viewer clients (paper §5's measurement client).
+
+The paper's data-collection client "does not render any video, but
+rather simply makes sure that the expected data arrives on time", with
+each client machine receiving many simultaneous streams.  Ours does the
+same: per stream it records startup latency (request to last byte of
+the first block), sequence gaps (blocks the server never sent), late
+blocks, and the times of losses (which the reconfiguration experiment
+uses to measure the failover window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.config import TigerConfig
+from repro.core.controller import CONTROLLER_ADDRESS
+from repro.core.protocol import BlockData, ClientStart, ClientStop
+from repro.core.viewerstate import new_instance_id
+from repro.net.message import KIND_DATA, REQUEST_BYTES, Message
+from repro.net.node import NetworkNode
+from repro.net.switch import SwitchedNetwork
+from repro.sim.core import Simulator
+from repro.sim.trace import Tracer
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class StreamMonitor:
+    """Reception bookkeeping for one play instance."""
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int
+    request_time: float
+    block_play_time: float
+    late_tolerance: float
+    num_blocks: int
+
+    first_block_time: Optional[float] = None
+    next_seqno: int = 0
+    blocks_received: int = 0
+    blocks_missed: int = 0
+    blocks_late: int = 0
+    #: Blocks whose content fingerprint did not match what this viewer
+    #: should be receiving (cross-wired file/position) — the paper's
+    #: clients verified "the expected data arrives on time".
+    blocks_corrupt: int = 0
+    loss_times: List[float] = field(default_factory=list)
+    finished: bool = False
+    stopped: bool = False
+    #: Partial mirror-piece assembly: seqno -> set of received pieces.
+    _pieces: Dict[int, Set[int]] = field(default_factory=dict)
+    _piece_targets: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def startup_latency(self) -> Optional[float]:
+        if self.first_block_time is None:
+            return None
+        return self.first_block_time - self.request_time
+
+    def deadline(self, seqno: int) -> float:
+        """Latest acceptable arrival of block ``seqno``'s last byte."""
+        if self.first_block_time is None:
+            return float("inf")
+        return self.first_block_time + seqno * self.block_play_time + self.late_tolerance
+
+    # ------------------------------------------------------------------
+    def on_block(self, data: BlockData, now: float) -> None:
+        """Handle one data message (whole block or mirror piece)."""
+        if self.stopped or self.finished:
+            return
+        from repro.core.protocol import block_pattern
+
+        expected_block = self.first_block + data.play_seqno
+        expected_pattern = block_pattern(self.file_id, expected_block)
+        if (
+            data.file_id != self.file_id
+            or data.block_index != expected_block
+            or (data.pattern and data.pattern != expected_pattern)
+        ):
+            self.blocks_corrupt += 1
+            return
+        seqno = data.play_seqno
+        if data.piece is not None:
+            pieces = self._pieces.setdefault(seqno, set())
+            pieces.add(data.piece)
+            self._piece_targets[seqno] = data.total_pieces
+            if len(pieces) < data.total_pieces:
+                return  # block not yet complete
+            del self._pieces[seqno]
+            del self._piece_targets[seqno]
+        self._complete_block(seqno, now, data.final)
+
+    def _complete_block(self, seqno: int, now: float, final: bool) -> None:
+        if seqno < self.next_seqno:
+            return  # stale duplicate
+        if self.first_block_time is None:
+            self.first_block_time = now
+        if seqno > self.next_seqno:
+            # Sequence gap: those blocks never arrived (or arrived only
+            # partially — purge stale piece assemblies so they are not
+            # double-counted at finalize).
+            gap = seqno - self.next_seqno
+            self.blocks_missed += gap
+            self.loss_times.extend([now] * gap)
+            for stale in [s for s in self._pieces if s < seqno]:
+                del self._pieces[stale]
+                self._piece_targets.pop(stale, None)
+        if now > self.deadline(seqno):
+            self.blocks_late += 1
+            self.loss_times.append(now)
+        self.blocks_received += 1
+        self.next_seqno = seqno + 1
+        if final:
+            self.finished = True
+
+    def finalize(self, now: float) -> None:
+        """Account for a silently truncated stream (end of experiment).
+
+        Only blocks whose deadline has already passed count as missed;
+        assemblies still in flight when the experiment stops are not
+        losses.
+        """
+        for seqno, pieces in list(self._pieces.items()):
+            target = self._piece_targets.get(seqno, len(pieces) + 1)
+            if len(pieces) < target and now > self.deadline(seqno):
+                self.blocks_missed += 1
+                self.loss_times.append(now)
+        self._pieces.clear()
+        self._piece_targets.clear()
+
+    @property
+    def expected_total(self) -> int:
+        return self.num_blocks - self.first_block
+
+
+class ViewerClient(NetworkNode):
+    """One client machine; may receive many simultaneous streams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: str,
+        config: TigerConfig,
+        catalog: Catalog,
+        network: SwitchedNetwork,
+        tracer: Optional[Tracer] = None,
+        late_tolerance: float = 0.5,
+        backup_controller: Optional[str] = None,
+        ack_timeout: float = 2.0,
+    ) -> None:
+        super().__init__(sim, address, tracer)
+        self.config = config
+        self.catalog = catalog
+        self.network = network
+        self.late_tolerance = late_tolerance
+        #: Failover extension: retry unacknowledged starts here.
+        self.backup_controller = backup_controller
+        self.ack_timeout = ack_timeout
+        self._acked: set = set()
+        #: VCR bookmarks: paused instance -> (file_id, resume block).
+        self._paused: Dict[int, tuple] = {}
+        self.streams: Dict[int, StreamMonitor] = {}
+        #: Optional callback fired with (monitor,) when a stream finishes.
+        self.on_stream_finished: Optional[Callable[[StreamMonitor], None]] = None
+
+    # ------------------------------------------------------------------
+    # Control-plane actions
+    # ------------------------------------------------------------------
+    def start_stream(self, file_id: int, first_block: int = 0) -> int:
+        """Request playback; returns the play instance id."""
+        instance = new_instance_id()
+        viewer_id = f"{self.address}#{instance}"
+        entry = self.catalog.get(file_id)
+        monitor = StreamMonitor(
+            viewer_id=viewer_id,
+            instance=instance,
+            file_id=file_id,
+            first_block=first_block,
+            request_time=self.sim.now,
+            block_play_time=self.config.block_play_time,
+            late_tolerance=self.late_tolerance,
+            num_blocks=entry.num_blocks,
+        )
+        self.streams[instance] = monitor
+        self.network.send(
+            Message(
+                self.address,
+                CONTROLLER_ADDRESS,
+                ClientStart(viewer_id, instance, file_id, first_block),
+                REQUEST_BYTES,
+            )
+        )
+        if self.backup_controller is not None:
+            self.after(
+                self.ack_timeout, self._retry_unacked, instance, file_id,
+                first_block,
+            )
+        return instance
+
+    def _retry_unacked(self, instance: int, file_id: int, first_block: int) -> None:
+        """No acknowledgement: the primary may be dead — ask the backup."""
+        monitor = self.streams.get(instance)
+        if instance in self._acked or monitor is None or monitor.stopped:
+            return
+        if monitor.first_block_time is not None:
+            return  # data already flowing
+        self.network.send(
+            Message(
+                self.address,
+                self.backup_controller,
+                ClientStart(monitor.viewer_id, instance, file_id, first_block),
+                REQUEST_BYTES,
+            )
+        )
+        # Keep retrying until someone answers or the stream is stopped.
+        self.after(
+            self.ack_timeout, self._retry_unacked, instance, file_id, first_block
+        )
+
+    def stop_stream(self, instance: int) -> None:
+        monitor = self.streams.get(instance)
+        if monitor is None or monitor.stopped:
+            return
+        monitor.stopped = True
+        destinations = [CONTROLLER_ADDRESS]
+        if self.backup_controller is not None:
+            destinations.append(self.backup_controller)
+        for destination in destinations:
+            self.network.send(
+                Message(
+                    self.address,
+                    destination,
+                    ClientStop(monitor.viewer_id, instance),
+                    REQUEST_BYTES,
+                )
+            )
+
+    def pause_stream(self, instance: int) -> Optional[int]:
+        """VCR pause: stop the play, remembering the position.
+
+        Tiger has no server-side pause — a paused viewer would hold a
+        slot while sending nothing, wasting capacity — so pause is a
+        deschedule plus a bookmark; resume is a fresh start request at
+        the saved block (a new play instance, exactly as §4.1.2's
+        instance semantics require).  Returns the block to resume from.
+        """
+        monitor = self.streams.get(instance)
+        if monitor is None or monitor.stopped or monitor.finished:
+            return None
+        resume_block = monitor.first_block + monitor.next_seqno
+        self._paused[instance] = (monitor.file_id, resume_block)
+        self.stop_stream(instance)
+        return resume_block
+
+    def resume_stream(self, paused_instance: int) -> Optional[int]:
+        """VCR resume: start a new play at the paused position.
+
+        Returns the new play instance, or None if nothing was paused.
+        """
+        bookmark = self._paused.pop(paused_instance, None)
+        if bookmark is None:
+            return None
+        file_id, resume_block = bookmark
+        return self.start_stream(file_id, first_block=resume_block)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        from repro.core.protocol import StartAck
+
+        payload = message.payload
+        if isinstance(payload, StartAck):
+            self._acked.add(payload.instance)
+            return
+        if not isinstance(payload, BlockData):
+            raise TypeError(
+                f"{self.name}: unexpected payload {type(payload).__name__}"
+            )
+        monitor = self.streams.get(payload.instance)
+        if monitor is None:
+            return  # stream already torn down
+        was_finished = monitor.finished
+        monitor.on_block(payload, self.sim.now)
+        if monitor.finished and not was_finished and self.on_stream_finished:
+            self.on_stream_finished(monitor)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def active_stream_count(self) -> int:
+        return sum(
+            1
+            for monitor in self.streams.values()
+            if not monitor.finished and not monitor.stopped
+        )
+
+    def all_monitors(self) -> List[StreamMonitor]:
+        return list(self.streams.values())
+
+    def total_missed(self) -> int:
+        return sum(monitor.blocks_missed for monitor in self.streams.values())
+
+    def total_late(self) -> int:
+        return sum(monitor.blocks_late for monitor in self.streams.values())
+
+    def total_received(self) -> int:
+        return sum(monitor.blocks_received for monitor in self.streams.values())
+
+    def total_corrupt(self) -> int:
+        return sum(monitor.blocks_corrupt for monitor in self.streams.values())

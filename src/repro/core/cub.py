@@ -1,0 +1,912 @@
+"""The cub: Tiger's distributed schedule-management engine (paper §4).
+
+Each cub owns a handful of disks, a bounded :class:`ScheduleView`, a
+:class:`DeadmanMonitor`, and per-disk queues of waiting start requests.
+All of §4's machinery lives here:
+
+* steady-state viewer-state propagation to the successor *and second
+  successor*, batched by a periodic pump within the
+  [minVStateLead, maxVStateLead] window (§4.1.1);
+* idempotent deschedule flooding with tombstones (§4.1.2);
+* slot-ownership-based insertion (§4.1.3);
+* mirror viewer states and gap bridging when neighbours die (§4.1.1,
+  §2.3).
+
+A cub never consults the global schedule; when a :class:`GlobalSchedule`
+oracle is attached (tests, metrics) the cub *reports* its commits to it,
+and the oracle raises if the distributed protocol ever violates the
+hallucination's invariants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.config import TigerConfig
+from repro.core.deadman import DeadmanMonitor
+from repro.core.protocol import (
+    BlockData,
+    block_pattern,
+    CancelStart,
+    ClientStart,
+    DescheduleForward,
+    Heartbeat,
+    PlayEnded,
+    StartCommitted,
+    StartRequest,
+    ViewerStateBatch,
+)
+from repro.core.protocol import CancelStart as _CancelStart
+from repro.core.schedule import GlobalSchedule, SlotConflictError
+from repro.core.slots import SlotClock
+from repro.core.view import ADMIT_NEW, ADMIT_TOO_LATE, ScheduleView
+from repro.core.viewerstate import (
+    DescheduleRequest,
+    MirrorViewerState,
+    ViewerState,
+    make_initial_state,
+    mirror_states_for,
+)
+from repro.disk.drive import SimDisk
+from repro.disk.zones import ZONE_INNER, ZONE_OUTER
+from repro.net.message import (
+    BATCH_HEADER_BYTES,
+    DESCHEDULE_BYTES,
+    HEARTBEAT_BYTES,
+    KIND_CONTROL,
+    KIND_DATA,
+    REQUEST_BYTES,
+    VIEWER_STATE_BYTES,
+    Message,
+)
+from repro.net.node import NetworkNode
+from repro.net.switch import SwitchedNetwork
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import BusyMeter, Counter
+from repro.sim.trace import Tracer
+from repro.storage.blockindex import BlockIndex
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+
+_EPS = 1e-9
+
+
+def cub_address(cub_id: int) -> str:
+    return f"cub:{cub_id}"
+
+
+class Cub(NetworkNode):
+    """One content-holding machine of a Tiger system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cub_id: int,
+        config: TigerConfig,
+        layout: StripeLayout,
+        mirror: MirrorScheme,
+        catalog: Catalog,
+        clock: SlotClock,
+        network: SwitchedNetwork,
+        rngs: RngRegistry,
+        block_index: BlockIndex,
+        oracle: Optional[GlobalSchedule] = None,
+        tracer: Optional[Tracer] = None,
+        strict: bool = True,
+        forward_copies: int = 2,
+    ) -> None:
+        super().__init__(sim, cub_address(cub_id), tracer)
+        self.cub_id = cub_id
+        self.config = config
+        self.layout = layout
+        self.mirror = mirror
+        self.catalog = catalog
+        self.clock = clock
+        self.network = network
+        self.block_index = block_index
+        self.oracle = oracle
+        #: Raise on protocol violations (tests); False counts them
+        #: instead (used by the forwarding ablation).
+        self.strict = strict
+        #: Number of successors each record is forwarded to; the paper
+        #: uses 2 ("successor and second successor"), the ablation 1.
+        self.forward_copies = forward_copies
+        #: Where commit/end notifications go; the controller-failover
+        #: extension adds the backup's address.
+        self.controller_addresses = ("controller",)
+
+        self.view = ScheduleView(
+            cub_id,
+            config.block_play_time,
+            hold_time=config.deschedule_hold,
+            is_final=self._state_is_final,
+        )
+        self.deadman = DeadmanMonitor(
+            cub_id, config.num_cubs, timeout=config.deadman_timeout
+        )
+        self.deadman.on_declare_failed.append(self._on_neighbour_declared_failed)
+
+        #: The cub's disks, keyed by global disk id.
+        self.disks: Dict[int, SimDisk] = {
+            disk_id: SimDisk(sim, f"{self.name}.disk{disk_id}", config.disk, rngs, tracer)
+            for disk_id in layout.disks_of_cub(cub_id)
+        }
+
+        #: Start requests waiting for a free slot, per target disk.
+        #: May include a dead predecessor's disks when covering for it.
+        self._wait_queues: Dict[int, Deque[StartRequest]] = {}
+        self._scan_events: Dict[int, Event] = {}
+        self._cancelled_instances: Set[int] = set()
+        #: Start-request instances already routed to this cub (duplicate
+        #: suppression for controller-failover client retries).
+        self._seen_start_instances: Set[int] = set()
+        #: Redundant start requests held for a live predecessor (§4.1.3).
+        self._redundant_requests: Dict[int, StartRequest] = {}
+        #: Redundant viewer states held for predecessors (§4.1.1).
+        self._redundant_states: Dict[Tuple[int, int], ViewerState] = {}
+        #: States awaiting their forward window.
+        self._forward_queue: List[ViewerState] = []
+        #: Mirror states bound for downstream piece holders; they ride
+        #: the next pump batch, one hop at a time, single copy (each is
+        #: re-derivable from the primary chain, so no redundancy needed).
+        self._mirror_forward_queue: List[MirrorViewerState] = []
+        #: Read-completion flags keyed by record key.
+        self._ready_reads: Set[Tuple] = set()
+        #: States with a scheduled read/send on a local disk, by key —
+        #: consulted when one of our own disks dies mid-flight.
+        self._pending_service: Dict[Tuple, ViewerState] = {}
+        #: Service keys abandoned because their disk died.
+        self._aborted_service: Set[Tuple] = set()
+        #: Pending service events per play instance (for deschedule).
+        self._instance_events: Dict[int, List[Event]] = {}
+
+        #: Modelled CPU (packetization dominates; see DESIGN.md).
+        self.cpu = BusyMeter(sim.now)
+        #: Sliding window of recent block sends for the local schedule-
+        #: load estimate behind the admission guard.
+        self._recent_send_times: Deque[float] = deque()
+
+        # Counters surfaced by the metrics layer.
+        self.blocks_sent = Counter()
+        self.mirror_pieces_sent = Counter()
+        self.server_missed_blocks = Counter()
+        self.mirror_pieces_missed = Counter()
+        self.blocks_lost_in_failover = Counter()
+        self.pieces_lost_to_second_failure = Counter()
+        self.insert_conflicts = Counter()
+        self.viewer_states_forwarded = Counter()
+        self.deschedules_forwarded = Counter()
+        self.inserts_performed = Counter()
+
+        self._started = False
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        """Begin heartbeating, pumping, and deadman checking."""
+        if self._started:
+            return
+        self._started = True
+        self.every(self.config.heartbeat_interval, self._send_heartbeats)
+        self.every(self.config.forward_pump_interval, self._pump)
+        self.every(self.config.heartbeat_interval, self._deadman_check)
+
+    def fail(self) -> None:
+        """Power-off: drop messages, stop timers, disks unreachable."""
+        super().fail()
+        self._started = False
+
+    def recover(self) -> None:
+        """Power back on with empty protocol state (a rebooted machine)."""
+        super().recover()
+        self._wait_queues.clear()
+        self._scan_events.clear()
+        self._forward_queue.clear()
+        self._mirror_forward_queue.clear()
+        self._redundant_states.clear()
+        self._redundant_requests.clear()
+        self._ready_reads.clear()
+        self._instance_events.clear()
+        self.start()
+
+    # ==================================================================
+    # Message dispatch
+    # ==================================================================
+    def handle_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Heartbeat):
+            self.deadman.note_heartbeat(payload.cub_id, self.sim.now)
+            return
+        self.cpu.add_busy(self.sim.now, self.config.cpu_per_control_msg)
+        if isinstance(payload, ViewerStateBatch):
+            for state in payload.states:
+                self._on_viewer_state(state)
+            for mirror_state in payload.mirrors:
+                self._on_mirror_state(mirror_state)
+        elif isinstance(payload, DescheduleForward):
+            self._on_deschedule(payload.request)
+        elif isinstance(payload, StartRequest):
+            self._on_start_request(payload)
+        elif isinstance(payload, _CancelStart):
+            self._on_cancel_start(payload)
+        else:
+            raise TypeError(f"{self.name}: unexpected payload {type(payload).__name__}")
+
+    # ==================================================================
+    # Steady state: viewer-state propagation (§4.1.1)
+    # ==================================================================
+    def _on_viewer_state(self, state: ViewerState) -> None:
+        disposition = self.view.admit(state, self.sim.now)
+        if disposition == ADMIT_TOO_LATE and self.oracle is not None:
+            # Discarding without forwarding spontaneously deschedules
+            # the viewer (§4.1.2's acknowledged worst case); keep the
+            # oracle truthful about it.
+            self.oracle.remove(state.slot, state.viewer_id, state.instance)
+        if disposition != ADMIT_NEW:
+            return
+        # A state for a queued-redundantly viewer proves the primary
+        # target scheduled it; drop our redundant copy of the request.
+        self._redundant_requests.pop(state.instance, None)
+
+        owner_cub = self.layout.cub_of_disk(state.disk_id)
+        if owner_cub == self.cub_id:
+            self._accept_own_state(state)
+        elif self.deadman.believes_failed(owner_cub) and self._is_first_living_after(
+            owner_cub
+        ):
+            self._bridge_state(state)
+        else:
+            self._redundant_states[state.key()] = state
+
+    def _accept_own_state(self, state: ViewerState) -> None:
+        """Serve and later forward a state targeted at one of my disks."""
+        disk = self.disks[state.disk_id]
+        if disk.failed:
+            # Local disk death: this cub is alive and knows immediately
+            # (I/O errors), so it takes the §4.1.1 mirror decision itself.
+            self._cover_with_mirrors(state)
+            self._advance_chain(state)
+            return
+        if state.due_time <= self.sim.now + _EPS:
+            # Arrived behind its deadline (e.g. a chain catching up
+            # after a failover gap): the block cannot be sent on time.
+            self.server_missed_blocks.increment()
+        else:
+            self._schedule_block_service(state, disk)
+        self._forward_queue.append(state)
+
+    def _schedule_block_service(self, state: ViewerState, disk: SimDisk) -> None:
+        """Issue the read ahead of time; transmit exactly at the due time."""
+        key = state.key()
+        read_at = max(self.sim.now, state.due_time - self.config.disk_read_lead)
+        location = self.block_index.lookup_primary(state.file_id, state.block_index)
+        if location is None:
+            raise RuntimeError(
+                f"{self.name}: no primary index entry for file {state.file_id} "
+                f"block {state.block_index} (disk {state.disk_id})"
+            )
+
+        def issue_read() -> None:
+            disk.read(
+                location.size_bytes,
+                location.zone,
+                on_complete=lambda _t: self._ready_reads.add(key),
+                on_error=lambda: None,
+            )
+
+        read_event = self.at(read_at, issue_read)
+        send_event = self.at(state.due_time, self._transmit_block, state)
+        self._pending_service[key] = state
+        self._track_instance_events(state.instance, [read_event, send_event])
+
+    def _transmit_block(self, state: ViewerState) -> None:
+        """The disk pointer reached the slot: put the block on the wire."""
+        key = state.key()
+        self._pending_service.pop(key, None)
+        if key in self._aborted_service:
+            # The disk died after this send was scheduled; mirror
+            # coverage already replaced it.
+            self._aborted_service.discard(key)
+            self._ready_reads.discard(key)
+            return
+        if self.view.has_tombstone(state.viewer_id, state.instance, state.slot):
+            self._ready_reads.discard(key)
+            return
+        if key not in self._ready_reads:
+            # The read missed its deadline — the paper's server-side
+            # "failed to place a block on the network" event.
+            self.server_missed_blocks.increment()
+            self.trace(
+                "block.miss",
+                "read not complete at due time",
+                viewer=state.viewer_id,
+                block=state.block_index,
+            )
+        else:
+            self._ready_reads.discard(key)
+            entry = self.catalog.get(state.file_id)
+            payload = BlockData(
+                viewer_id=state.viewer_id,
+                instance=state.instance,
+                file_id=state.file_id,
+                block_index=state.block_index,
+                play_seqno=state.play_seqno,
+                final=self._state_is_final(state),
+                pattern=block_pattern(state.file_id, state.block_index),
+            )
+            size = entry.content_bytes_per_block
+            self.network.send_paced(
+                Message(
+                    self.address,
+                    _client_address(state.viewer_id),
+                    payload,
+                    size,
+                    kind=KIND_DATA,
+                ),
+                pacing_duration=self.config.block_play_time,
+            )
+            self.cpu.add_busy(self.sim.now, size * self.config.cpu_per_data_byte)
+            self.blocks_sent.increment()
+            self._recent_send_times.append(self.sim.now)
+        if self._state_is_final(state):
+            self._finish_play(state)
+
+    def _pump(self) -> None:
+        """Forward every state whose window opened; prune old records."""
+        self._pump_ticks = getattr(self, "_pump_ticks", 0) + 1
+        if self._pump_ticks % 4 == 0:
+            self.view.prune(self.sim.now)
+            self._prune_redundant()
+        self._pump_forward()
+
+    def _pump_forward(self) -> None:
+        now = self.sim.now
+        bpt = self.config.block_play_time
+        outgoing: List[ViewerState] = []
+        keep: List[ViewerState] = []
+        for state in self._forward_queue:
+            next_due = state.due_time + bpt
+            if now < next_due - self.config.max_vstate_lead - _EPS:
+                keep.append(state)
+                continue
+            if self.view.has_tombstone(state.viewer_id, state.instance, state.slot):
+                continue
+            advanced = state.advanced(1, self.layout.num_disks, bpt)
+            if advanced.block_index >= self.catalog.get(state.file_id).num_blocks:
+                continue  # end of file: the chain simply stops (§4.1.2)
+            outgoing.append(advanced)
+        self._forward_queue = keep
+
+        mirrors_out: List[MirrorViewerState] = []
+        for mirror_state in self._mirror_forward_queue:
+            if mirror_state.due_time <= now + _EPS:
+                self.mirror_pieces_missed.increment()
+                continue
+            if self.view.has_tombstone(
+                mirror_state.viewer_id, mirror_state.instance, mirror_state.slot
+            ):
+                continue
+            mirrors_out.append(mirror_state)
+        self._mirror_forward_queue = []
+
+        if outgoing or mirrors_out:
+            self._send_state_batch(outgoing, mirrors_out)
+
+    def _send_state_batch(self, states, mirrors) -> None:
+        """Batched forwarding: viewer states go to the successor *and*
+        second successor (§4.1.1's double forwarding); mirror states
+        ride only the first copy — each hop re-forwards what is still
+        downstream, so per-cub control traffic roughly doubles in
+        failed mode, as the paper measured."""
+        destinations = self.deadman.living_successors(self.forward_copies)
+        for index, destination in enumerate(destinations):
+            batch = ViewerStateBatch(
+                tuple(states), tuple(mirrors) if index == 0 else ()
+            )
+            if not len(batch):
+                continue
+            size = BATCH_HEADER_BYTES + VIEWER_STATE_BYTES * len(batch)
+            self.network.send(
+                Message(self.address, cub_address(destination), batch, size)
+            )
+            self.cpu.add_busy(self.sim.now, self.config.cpu_per_control_msg)
+        self.viewer_states_forwarded.increment(len(states))
+
+    # ==================================================================
+    # Mirror coverage and gap bridging (§2.3, §4.1.1)
+    # ==================================================================
+    def _bridge_state(self, state: ViewerState) -> None:
+        """Handle a state targeted at a dead component's disk.
+
+        Generates mirror viewer states for the lost block (if its due
+        time has not already passed) and advances the chain to the next
+        living disk — possibly hopping several dead cubs (§2.3's
+        bridging of multi-cub gaps).
+        """
+        if state.due_time > self.sim.now + _EPS:
+            self._cover_with_mirrors(state)
+        else:
+            self.blocks_lost_in_failover.increment()
+        self._advance_chain(state)
+
+    def _advance_chain(self, state: ViewerState) -> None:
+        """Re-inject the state's successor, exactly as if it arrived.
+
+        When bridging after slow failure detection, several hops' due
+        times may already be in the past; those blocks are lost (nobody
+        ever received their states in time) and the chain re-enters the
+        schedule at the first future visit.  Without this skip the
+        advanced state would be discarded as too-late — the paper's
+        "spontaneous deschedule" worst case — killing the viewer.
+        """
+        bpt = self.config.block_play_time
+        num_blocks = self.catalog.get(state.file_id).num_blocks
+        advanced = state.advanced(1, self.layout.num_disks, bpt)
+        while (
+            advanced.block_index < num_blocks
+            and advanced.due_time <= self.sim.now + _EPS
+        ):
+            self.blocks_lost_in_failover.increment()
+            advanced = advanced.advanced(1, self.layout.num_disks, bpt)
+        if advanced.block_index >= num_blocks:
+            self._finish_play(state)
+            return
+        self._on_viewer_state(advanced)
+
+    def _cover_with_mirrors(self, state: ViewerState) -> None:
+        """Create mirror viewer states for a block on a dead disk."""
+        mirrors = mirror_states_for(
+            state,
+            self.config.decluster,
+            self.layout.num_disks,
+            self.config.block_play_time,
+        )
+        for mirror_state in mirrors:
+            if self.view.admit_mirror(mirror_state, self.sim.now) != ADMIT_NEW:
+                continue
+            target_cub = self.layout.cub_of_disk(mirror_state.disk_id)
+            if target_cub == self.cub_id:
+                self._serve_mirror_piece(mirror_state)
+            elif self.deadman.believes_failed(target_cub):
+                # Second failure inside the decluster neighbourhood:
+                # this piece is gone (§2.3's data-loss case).
+                self.pieces_lost_to_second_failure.increment()
+            else:
+                self._mirror_forward_queue.append(mirror_state)
+
+    def _on_mirror_state(self, mirror_state: MirrorViewerState) -> None:
+        if self.view.admit_mirror(mirror_state, self.sim.now) != ADMIT_NEW:
+            return
+        target_cub = self.layout.cub_of_disk(mirror_state.disk_id)
+        if target_cub == self.cub_id:
+            self._serve_mirror_piece(mirror_state)
+        elif self.deadman.believes_failed(target_cub):
+            self.pieces_lost_to_second_failure.increment()
+        else:
+            # Keep hopping toward the piece's holder with the next pump.
+            self._mirror_forward_queue.append(mirror_state)
+
+    def _serve_mirror_piece(self, mirror_state: MirrorViewerState) -> None:
+        disk = self.disks[mirror_state.disk_id]
+        if disk.failed:
+            self.pieces_lost_to_second_failure.increment()
+            return
+        if mirror_state.due_time <= self.sim.now + _EPS:
+            self.mirror_pieces_missed.increment()
+            return
+        location = self.block_index.lookup_secondary(
+            mirror_state.file_id, mirror_state.block_index, mirror_state.piece
+        )
+        if location is None:
+            raise RuntimeError(
+                f"{self.name}: no secondary index entry for file "
+                f"{mirror_state.file_id} block {mirror_state.block_index} "
+                f"piece {mirror_state.piece}"
+            )
+        key = mirror_state.key()
+        read_at = max(
+            self.sim.now, mirror_state.due_time - self.config.disk_read_lead
+        )
+
+        def issue_read() -> None:
+            disk.read(
+                location.size_bytes,
+                location.zone,
+                on_complete=lambda _t: self._ready_reads.add(key),
+                on_error=lambda: None,
+            )
+
+        read_event = self.at(read_at, issue_read)
+        send_event = self.at(
+            mirror_state.due_time, self._transmit_mirror_piece, mirror_state
+        )
+        self._track_instance_events(mirror_state.instance, [read_event, send_event])
+
+    def _transmit_mirror_piece(self, mirror_state: MirrorViewerState) -> None:
+        key = mirror_state.key()
+        if self.view.has_tombstone(
+            mirror_state.viewer_id, mirror_state.instance, mirror_state.slot
+        ):
+            self._ready_reads.discard(key)
+            return
+        if key not in self._ready_reads:
+            self.mirror_pieces_missed.increment()
+            return
+        self._ready_reads.discard(key)
+        entry = self.catalog.get(mirror_state.file_id)
+        piece_bytes = -(-entry.content_bytes_per_block // mirror_state.decluster)
+        payload = BlockData(
+            viewer_id=mirror_state.viewer_id,
+            instance=mirror_state.instance,
+            file_id=mirror_state.file_id,
+            block_index=mirror_state.block_index,
+            play_seqno=mirror_state.play_seqno,
+            piece=mirror_state.piece,
+            total_pieces=mirror_state.decluster,
+            final=mirror_state.block_index >= entry.num_blocks - 1,
+            pattern=block_pattern(
+                mirror_state.file_id, mirror_state.block_index
+            ),
+        )
+        self.network.send_paced(
+            Message(
+                self.address,
+                _client_address(mirror_state.viewer_id),
+                payload,
+                piece_bytes,
+                kind=KIND_DATA,
+            ),
+            pacing_duration=self.config.block_play_time / mirror_state.decluster,
+        )
+        self.cpu.add_busy(self.sim.now, piece_bytes * self.config.cpu_per_data_byte)
+        self.mirror_pieces_sent.increment()
+
+    def _on_neighbour_declared_failed(self, dead_cub: int) -> None:
+        """Deadman verdict: adopt every chain I am now responsible for.
+
+        Responsibility covers more than the newly dead cub: with two
+        consecutive failures, the second death can make this cub the
+        first living successor of a cub that died *earlier* — whose
+        chains the intermediate (now dead) cub had been bridging.
+        """
+        self.trace("deadman", f"declared cub {dead_cub} failed")
+        # Bridge every held redundant state whose target cub is dead
+        # and whose first living successor is now us.
+        for key in list(self._redundant_states):
+            state = self._redundant_states[key]
+            owner = self.layout.cub_of_disk(state.disk_id)
+            if not (
+                self.deadman.believes_failed(owner)
+                and self._is_first_living_after(owner)
+            ):
+                continue
+            del self._redundant_states[key]
+            self._bridge_state(state)
+        # Activate redundant start requests on the same criterion.
+        for instance in list(self._redundant_requests):
+            request = self._redundant_requests[instance]
+            owner = self.layout.cub_of_disk(request.target_disk)
+            if not (
+                self.deadman.believes_failed(owner)
+                and self._is_first_living_after(owner)
+            ):
+                continue
+            del self._redundant_requests[instance]
+            self._enqueue_start(request)
+
+    def on_local_disk_failed(self, disk_id: int) -> None:
+        """One of my disks died while the cub survives.
+
+        Unlike a cub death, no deadman latency applies: the cub sees
+        the I/O errors immediately and takes the mirror decision itself
+        for every block already scheduled on the dead drive.
+        """
+        for key in list(self._pending_service):
+            state = self._pending_service[key]
+            if state.disk_id != disk_id:
+                continue
+            if state.due_time <= self.sim.now + _EPS:
+                continue  # already being transmitted (or missed)
+            del self._pending_service[key]
+            self._aborted_service.add(key)
+            self._cover_with_mirrors(state)
+
+    def _is_first_living_after(self, cub: int) -> bool:
+        return self.deadman.next_living_cub(cub) == self.cub_id
+
+    # ==================================================================
+    # Deschedule handling (§4.1.2)
+    # ==================================================================
+    def _on_deschedule(self, request: DescheduleRequest) -> None:
+        expiry = (
+            self.sim.now + self.config.max_vstate_lead + self.config.deschedule_hold
+        )
+        if not self.view.apply_deschedule(request, expiry):
+            return  # duplicate — idempotent
+        # Kill any pending service for the play and stop forwarding it.
+        self._cancel_instance_events(request.instance)
+        self._forward_queue = [
+            state for state in self._forward_queue if not request.matches(state)
+        ]
+        self._mirror_forward_queue = [
+            mirror_state
+            for mirror_state in self._mirror_forward_queue
+            if not request.matches_mirror(mirror_state)
+        ]
+        for key in list(self._redundant_states):
+            if request.matches(self._redundant_states[key]):
+                del self._redundant_states[key]
+        self._remove_queued_instance(request.instance)
+        self._redundant_requests.pop(request.instance, None)
+        if self.oracle is not None:
+            self.oracle.remove(request.slot, request.viewer_id, request.instance)
+
+        # Forward until the tombstone has outrun every possible viewer
+        # state: stop once our own visit is > maxVStateLead away.
+        my_next_visit = self._earliest_own_visit(request.slot)
+        if my_next_visit - self.sim.now <= self.config.max_vstate_lead:
+            size = DESCHEDULE_BYTES
+            for destination in self.deadman.living_successors(self.forward_copies):
+                self.network.send(
+                    Message(
+                        self.address,
+                        cub_address(destination),
+                        DescheduleForward(request),
+                        size,
+                    )
+                )
+                self.cpu.add_busy(self.sim.now, self.config.cpu_per_control_msg)
+            self.deschedules_forwarded.increment()
+
+    def _earliest_own_visit(self, slot: int) -> float:
+        return min(
+            self.clock.visit_time(disk_id, slot, self.sim.now)
+            for disk_id in self.disks
+        )
+
+    # ==================================================================
+    # Insertion (§4.1.3)
+    # ==================================================================
+    def _on_start_request(self, request: StartRequest) -> None:
+        if request.instance in self._cancelled_instances:
+            return
+        if request.instance in self._seen_start_instances:
+            return  # duplicate routing (e.g. a client retried via the backup)
+        self._seen_start_instances.add(request.instance)
+        if request.redundant:
+            target_cub = self.layout.cub_of_disk(request.target_disk)
+            if self.deadman.believes_failed(target_cub):
+                self._enqueue_start(request)
+            else:
+                self._redundant_requests[request.instance] = request
+            return
+        self._enqueue_start(request)
+
+    def _enqueue_start(self, request: StartRequest) -> None:
+        queue = self._wait_queues.setdefault(request.target_disk, deque())
+        queue.append(request)
+        self._arm_scan(request.target_disk)
+
+    def _on_cancel_start(self, cancel: CancelStart) -> None:
+        self._cancelled_instances.add(cancel.instance)
+        self._redundant_requests.pop(cancel.instance, None)
+        self._remove_queued_instance(cancel.instance)
+
+    def _remove_queued_instance(self, instance: int) -> None:
+        for disk_id, queue in self._wait_queues.items():
+            filtered = deque(
+                request for request in queue if request.instance != instance
+            )
+            if len(filtered) != len(queue):
+                self._wait_queues[disk_id] = filtered
+
+    def _arm_scan(self, disk_id: int) -> None:
+        """Schedule the next ownership instant for ``disk_id``'s queue."""
+        if not self._wait_queues.get(disk_id):
+            return
+        pending = self._scan_events.get(disk_id)
+        if pending is not None and pending.active:
+            return
+        slot, visit = self.clock.next_slot_visit(
+            disk_id, self.sim.now + self.config.scheduling_lead
+        )
+        ownership_instant = visit - self.config.scheduling_lead
+        self._scan_events[disk_id] = self.at(
+            ownership_instant, self._ownership_instant, disk_id, slot, visit
+        )
+
+    def local_load_estimate(self) -> float:
+        """Schedule load inferred from this cub's own recent sends.
+
+        At load rho each of our disks serves ``rho x visits/s`` blocks,
+        so the send rate over the last few seconds, normalized by our
+        disks' total visit rate, estimates rho with no global state —
+        a view-local quantity, in the spirit of §4.
+        """
+        window = 4.0 * self.config.block_play_time
+        horizon = self.sim.now - window
+        while self._recent_send_times and self._recent_send_times[0] < horizon:
+            self._recent_send_times.popleft()
+        if self.sim.now < window:  # not enough history yet
+            return 0.0
+        visits_per_second = (
+            len(self.disks)
+            * self.clock.visits_per_block_play_time()
+            / self.config.block_play_time
+        )
+        return len(self._recent_send_times) / (window * visits_per_second)
+
+    def _admission_blocked(self) -> bool:
+        limit = self.config.admission_load_limit
+        return limit is not None and self.local_load_estimate() >= limit
+
+    def _ownership_instant(self, disk_id: int, slot: int, visit: float) -> None:
+        """This cub now owns (slot, visit) and may insert if it is free."""
+        self._scan_events.pop(disk_id, None)
+        queue = self._wait_queues.get(disk_id)
+        while queue and queue[0].instance in self._cancelled_instances:
+            queue.popleft()
+        if (
+            queue
+            and not self.view.occupied_at(slot, visit)
+            and not self._admission_blocked()
+        ):
+            request = queue.popleft()
+            self._insert_viewer(request, disk_id, slot, visit)
+        self._arm_scan(disk_id)
+
+    def _insert_viewer(
+        self, request: StartRequest, disk_id: int, slot: int, visit: float
+    ) -> None:
+        state = make_initial_state(
+            viewer_id=request.viewer_id,
+            instance=request.instance,
+            slot=slot,
+            file_id=request.file_id,
+            first_block=request.first_block,
+            disk_id=disk_id,
+            due_time=visit,
+        )
+        if self.oracle is not None:
+            try:
+                self.oracle.insert(
+                    slot,
+                    request.viewer_id,
+                    request.instance,
+                    request.file_id,
+                    request.first_block,
+                    self.sim.now,
+                )
+            except SlotConflictError:
+                if self.strict:
+                    raise
+                # Ablation mode: record the double-booking the paper's
+                # ownership protocol exists to prevent, and drop the
+                # insert (one of the viewers loses service).
+                self.insert_conflicts.increment()
+                return
+        self.view.admit(state, self.sim.now)
+        self.inserts_performed.increment()
+        self.trace(
+            "insert",
+            "scheduled viewer",
+            viewer=request.viewer_id,
+            slot=slot,
+            disk=disk_id,
+            due=visit,
+        )
+
+        owner_cub = self.layout.cub_of_disk(disk_id)
+        if owner_cub == self.cub_id and not self.disks[disk_id].failed:
+            disk = self.disks[disk_id]
+            self._schedule_block_service(state, disk)
+            self._forward_queue.append(state)
+        else:
+            # Covering insertion for a dead predecessor's disk: the
+            # first block goes out via mirrors, the chain continues here.
+            self._cover_with_mirrors(state)
+            self._advance_chain(state)
+
+        # Commit: the insertion joins the hallucination once another
+        # machine knows about it (§4.3) — tell the controller and
+        # immediately push the viewer state to the successors.
+        for controller in self.controller_addresses:
+            self.network.send(
+                Message(
+                    self.address,
+                    controller,
+                    StartCommitted(
+                        request.viewer_id, request.instance, slot, visit
+                    ),
+                    DESCHEDULE_BYTES,
+                )
+            )
+        self._pump_forward()
+
+    # ==================================================================
+    # End of play
+    # ==================================================================
+    def _finish_play(self, last_state: ViewerState) -> None:
+        """The final block was handled; retire the slot."""
+        if self.oracle is not None:
+            self.oracle.remove_unconditional(last_state.slot)
+        for controller in self.controller_addresses:
+            self.network.send(
+                Message(
+                    self.address,
+                    controller,
+                    PlayEnded(
+                        last_state.viewer_id, last_state.instance, last_state.slot
+                    ),
+                    DESCHEDULE_BYTES,
+                )
+            )
+
+    # ==================================================================
+    # Heartbeats, bookkeeping
+    # ==================================================================
+    def _send_heartbeats(self) -> None:
+        beat = Heartbeat(self.cub_id)
+        for neighbour in self.deadman.watched:
+            self.network.send(
+                Message(
+                    self.address, cub_address(neighbour), beat, HEARTBEAT_BYTES
+                )
+            )
+
+    def _deadman_check(self) -> None:
+        self.deadman.check(self.sim.now)
+
+    def _prune_redundant(self) -> None:
+        horizon = self.sim.now - (self.config.deadman_timeout + 2.0)
+        if len(self._redundant_states) > 64:
+            self._redundant_states = {
+                key: state
+                for key, state in self._redundant_states.items()
+                if state.due_time >= horizon
+            }
+
+    def _track_instance_events(self, instance: int, events: List[Event]) -> None:
+        bucket = self._instance_events.setdefault(instance, [])
+        bucket.extend(events)
+        if len(bucket) > 32:
+            self._instance_events[instance] = [
+                event for event in bucket if event.active
+            ]
+
+    def _cancel_instance_events(self, instance: int) -> None:
+        for event in self._instance_events.pop(instance, []):
+            event.cancel()
+
+    def _state_is_final(self, state: ViewerState) -> bool:
+        return state.block_index >= self.catalog.get(state.file_id).num_blocks - 1
+
+    # ==================================================================
+    # Measurement helpers
+    # ==================================================================
+    def cpu_utilization(self, now: Optional[float] = None) -> float:
+        return self.cpu.utilization(self.sim.now if now is None else now)
+
+    def mean_disk_utilization(self, now: Optional[float] = None) -> float:
+        moment = self.sim.now if now is None else now
+        values = [disk.utilization(moment) for disk in self.disks.values()]
+        return sum(values) / len(values)
+
+    def reset_measurement(self) -> None:
+        self.cpu.reset(self.sim.now)
+        for disk in self.disks.values():
+            disk.reset_measurement()
+
+    def queued_start_requests(self) -> int:
+        return sum(len(queue) for queue in self._wait_queues.values())
+
+
+def _client_address(viewer_id: str) -> str:
+    """Viewers are named ``<client-address>#<stream>``; data goes to the
+    client machine's network address."""
+    return viewer_id.split("#", 1)[0]

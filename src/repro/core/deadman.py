@@ -1,0 +1,121 @@
+"""The deadman failure detector (paper §2.3).
+
+Each cub periodically beacons to its two ring successors and its two
+ring predecessors, and declares a monitored neighbour dead after
+``deadman_timeout`` seconds of silence.  Detection is therefore purely
+local knowledge — two cubs may briefly disagree about who is alive,
+which the schedule protocol tolerates by design (views may be stale).
+
+Monitoring both directions is what lets the *preceding* living cub
+bridge a gap of two or more consecutive failed cubs (§2.3: "the
+preceding living cub will send scheduling information to the
+succeeding living cub").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class DeadmanMonitor:
+    """One cub's local beliefs about its neighbours' liveness."""
+
+    def __init__(
+        self,
+        cub_id: int,
+        num_cubs: int,
+        timeout: float,
+        watch_distance: int = 2,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if not 1 <= watch_distance < num_cubs:
+            raise ValueError("watch distance must be in [1, num_cubs)")
+        self.cub_id = cub_id
+        self.num_cubs = num_cubs
+        self.timeout = timeout
+        self._watched = self._neighbourhood(watch_distance)
+        self._last_heard: Dict[int, float] = {cub: 0.0 for cub in self._watched}
+        self._believed_failed: Set[int] = set()
+        #: Callbacks fired with (cub_id,) on a new death declaration.
+        self.on_declare_failed: List[Callable[[int], None]] = []
+        #: Callbacks fired with (cub_id,) when a dead cub is heard again.
+        self.on_declare_recovered: List[Callable[[int], None]] = []
+
+    def _neighbourhood(self, distance: int) -> Tuple[int, ...]:
+        cubs = []
+        for step in range(1, distance + 1):
+            for neighbour in (
+                (self.cub_id + step) % self.num_cubs,
+                (self.cub_id - step) % self.num_cubs,
+            ):
+                if neighbour != self.cub_id and neighbour not in cubs:
+                    cubs.append(neighbour)
+        return tuple(cubs)
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def note_heartbeat(self, from_cub: int, now: float) -> None:
+        """Record a liveness beacon; may resurrect a believed-dead cub."""
+        if from_cub not in self._last_heard:
+            return  # not a neighbour we monitor
+        self._last_heard[from_cub] = now
+        if from_cub in self._believed_failed:
+            self._believed_failed.discard(from_cub)
+            for callback in self.on_declare_recovered:
+                callback(from_cub)
+
+    def check(self, now: float) -> Tuple[int, ...]:
+        """Scan for newly silent neighbours; returns fresh declarations."""
+        newly_failed = []
+        for cub, last in self._last_heard.items():
+            if cub in self._believed_failed:
+                continue
+            if now - last > self.timeout:
+                self._believed_failed.add(cub)
+                newly_failed.append(cub)
+        for cub in newly_failed:
+            for callback in self.on_declare_failed:
+                callback(cub)
+        return tuple(newly_failed)
+
+    # ------------------------------------------------------------------
+    # Beliefs
+    # ------------------------------------------------------------------
+    def believes_failed(self, cub_id: int) -> bool:
+        return cub_id in self._believed_failed
+
+    @property
+    def believed_failed(self) -> frozenset:
+        return frozenset(self._believed_failed)
+
+    @property
+    def watched(self) -> Tuple[int, ...]:
+        return self._watched
+
+    def next_living_cub(self, after: int, extra_failed: Optional[Set[int]] = None) -> int:
+        """First cub after ``after`` (exclusive) believed alive.
+
+        Cubs outside the monitored neighbourhood are assumed alive —
+        beliefs are local, exactly as §4's view model allows.
+        """
+        failed = self._believed_failed | (extra_failed or set())
+        for step in range(1, self.num_cubs):
+            candidate = (after + step) % self.num_cubs
+            if candidate not in failed:
+                return candidate
+        raise RuntimeError("no living cub found (whole ring believed dead)")
+
+    def living_successors(self, count: int = 2) -> Tuple[int, ...]:
+        """The next ``count`` cubs after self believed alive — the
+        forwarding destinations for viewer states and deschedules."""
+        out = []
+        cursor = self.cub_id
+        for _ in range(count):
+            cursor = self.next_living_cub(cursor)
+            if cursor == self.cub_id:
+                break  # ring exhausted (tiny systems under mass failure)
+            if cursor not in out:
+                out.append(cursor)
+        return tuple(out)

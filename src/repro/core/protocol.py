@@ -1,0 +1,181 @@
+"""Wire-protocol payloads exchanged by Tiger components.
+
+These are the contents of :class:`repro.net.message.Message` objects.
+Sizes are modelled separately (see :mod:`repro.net.message`); payloads
+carry whatever the receiving protocol code needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.viewerstate import (
+    DescheduleRequest,
+    MirrorViewerState,
+    ViewerState,
+)
+
+
+@dataclass(frozen=True)
+class ViewerStateBatch:
+    """A bundle of viewer states forwarded between cubs (§4.1.1).
+
+    Cubs group states together "into a single network message before
+    forwarding them, and so reduce communications overhead" — the gap
+    between minVStateLead and maxVStateLead exists to allow batching.
+    """
+
+    states: Tuple[ViewerState, ...] = ()
+    mirrors: Tuple[MirrorViewerState, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.states) + len(self.mirrors)
+
+
+@dataclass(frozen=True)
+class StartRequest:
+    """A request to begin playing, forwarded by the controller (§4.1.3).
+
+    ``redundant`` marks the copy sent to the successor cub, which only
+    acts on it if the primary target fails.
+    """
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int
+    target_disk: int
+    request_time: float
+    redundant: bool = False
+
+
+@dataclass(frozen=True)
+class CancelStart:
+    """Withdraw a queued (not yet scheduled) start request."""
+
+    viewer_id: str
+    instance: int
+
+
+@dataclass(frozen=True)
+class StartCommitted:
+    """Cub -> controller: a start request entered the schedule.
+
+    Carries the slot so the controller can later route a deschedule to
+    the cub currently serving the viewer.  This is also the moment the
+    insertion joins the hallucination: "schedule insertions are
+    committed ... when a message to that effect makes it to at least
+    one other machine" (§4.3).
+    """
+
+    viewer_id: str
+    instance: int
+    slot: int
+    first_due: float
+
+
+@dataclass(frozen=True)
+class PlayEnded:
+    """Cub -> controller: a viewer reached end-of-file."""
+
+    viewer_id: str
+    instance: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class DescheduleForward:
+    """Controller -> cub and cub -> cub carrier for a deschedule."""
+
+    request: DescheduleRequest
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Deadman-protocol liveness beacon (§2.3)."""
+
+    cub_id: int
+
+
+def block_pattern(file_id: int, block_index: int) -> int:
+    """Deterministic content fingerprint for one block.
+
+    The paper's test files were "filled with a test pattern"; clients
+    verified the expected data arrived.  We model content as a
+    64-bit fingerprint derived from identity, so a client can detect a
+    block cross-wired to the wrong viewer or position — without
+    shuttling megabytes of fake payload through the simulator.
+    """
+    # splitmix64-style mix of the identity pair.
+    value = (file_id * 0x9E3779B97F4A7C15 + block_index) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 27
+    return value
+
+
+@dataclass(frozen=True)
+class BlockData:
+    """A block (or declustered piece of one) sent to a viewer.
+
+    ``piece`` is None for a whole primary block; otherwise it names the
+    secondary fragment, of which ``total_pieces`` complete the block.
+    ``pattern`` carries the content fingerprint the client verifies.
+    """
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    block_index: int
+    play_seqno: int
+    piece: Optional[int] = None
+    total_pieces: int = 1
+    final: bool = False
+    pattern: int = 0
+
+
+@dataclass(frozen=True)
+class ClientStart:
+    """Viewer -> controller: begin playing ``file_id`` at ``first_block``."""
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int = 0
+
+
+@dataclass(frozen=True)
+class ClientStop:
+    """Viewer -> controller: stop this play instance."""
+
+    viewer_id: str
+    instance: int
+
+
+@dataclass(frozen=True)
+class StartAck:
+    """Controller -> viewer: your start request was received and routed.
+
+    Part of the controller fault-tolerance extension (the paper's
+    stated future work): an unacknowledged start is retried against the
+    backup controller.
+    """
+
+    instance: int
+    controller: str
+
+
+@dataclass(frozen=True)
+class ReplicaUpdate:
+    """Primary -> backup controller: replicate one play record change.
+
+    ``kind`` is one of "start", "committed", "stopped", "ended".
+    """
+
+    kind: str
+    viewer_id: str
+    instance: int
+    file_id: int = -1
+    first_block: int = 0
+    slot: Optional[int] = None

@@ -1,0 +1,302 @@
+"""Assembly of a complete Tiger system.
+
+:class:`TigerSystem` wires together every substrate — simulator,
+switched network, disks, striped storage with declustered mirrors —
+and the schedule-protocol components (cubs, controller, clients).  It
+is the single entry point examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import TigerConfig
+from repro.core.client import ViewerClient
+from repro.core.controller import Controller
+from repro.core.cub import Cub
+from repro.core.metrics import MetricsCollector
+from repro.core.schedule import GlobalSchedule
+from repro.core.slots import SlotClock
+from repro.net.switch import SwitchedNetwork
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.storage.blockindex import BlockIndex
+from repro.storage.catalog import MODE_SINGLE_BITRATE, Catalog, TigerFile
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+
+
+class TigerSystem:
+    """A fully wired, runnable Tiger deployment (single-bitrate)."""
+
+    def __init__(
+        self,
+        config: TigerConfig,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        strict: bool = True,
+        forward_copies: int = 2,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.tracer = tracer if tracer is not None else Tracer()
+
+        self.layout = StripeLayout(config.num_cubs, config.disks_per_cub)
+        self.mirror = MirrorScheme(self.layout, config.decluster)
+        self.clock = SlotClock(
+            num_disks=config.num_disks,
+            num_slots=config.num_slots,
+            block_play_time=config.block_play_time,
+        )
+        self.catalog = Catalog(config.block_play_time, config.num_disks)
+        #: The hallucination made checkable: cubs report commits here and
+        #: the oracle raises on any violation of the global invariants.
+        self.oracle = GlobalSchedule(config.num_slots)
+
+        self.network = SwitchedNetwork(
+            self.sim,
+            self.rngs,
+            base_latency=config.net_base_latency,
+            latency_jitter=config.net_latency_jitter,
+            tracer=self.tracer,
+        )
+
+        self.indexes: List[BlockIndex] = [
+            BlockIndex(cub_id) for cub_id in range(config.num_cubs)
+        ]
+        self.cubs: List[Cub] = []
+        for cub_id in range(config.num_cubs):
+            cub = Cub(
+                sim=self.sim,
+                cub_id=cub_id,
+                config=config,
+                layout=self.layout,
+                mirror=self.mirror,
+                catalog=self.catalog,
+                clock=self.clock,
+                network=self.network,
+                rngs=self.rngs,
+                block_index=self.indexes[cub_id],
+                oracle=self.oracle,
+                tracer=self.tracer,
+                strict=strict,
+                forward_copies=forward_copies,
+            )
+            self.network.register(cub, config.cub_nic_bps)
+            self.cubs.append(cub)
+
+        self.controller = Controller(
+            sim=self.sim,
+            config=config,
+            layout=self.layout,
+            catalog=self.catalog,
+            clock=self.clock,
+            network=self.network,
+            tracer=self.tracer,
+        )
+        self.network.register(self.controller, config.controller_nic_bps)
+
+        self.clients: List[ViewerClient] = []
+        self.backup_controller = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_client(self, late_tolerance: float = 0.5) -> ViewerClient:
+        """Attach one client machine to the switched network."""
+        backup_address = (
+            self.backup_controller.address
+            if self.backup_controller is not None
+            else None
+        )
+        client = ViewerClient(
+            sim=self.sim,
+            address=f"client:{len(self.clients)}",
+            config=self.config,
+            catalog=self.catalog,
+            network=self.network,
+            tracer=self.tracer,
+            late_tolerance=late_tolerance,
+            backup_controller=backup_address,
+        )
+        self.network.register(client, self.config.client_nic_bps)
+        self.clients.append(client)
+        return client
+
+    def enable_controller_backup(self, takeover_timeout: Optional[float] = None):
+        """Attach a backup controller (the paper's stated future work).
+
+        The primary replicates play records and heartbeats the backup;
+        cubs report commits to both; clients created *after* this call
+        retry unacknowledged starts against the backup.  Returns the
+        :class:`~repro.core.failover.BackupController`.
+        """
+        from repro.core.failover import BackupController
+
+        if self.backup_controller is not None:
+            return self.backup_controller
+        backup = BackupController(
+            sim=self.sim,
+            config=self.config,
+            layout=self.layout,
+            catalog=self.catalog,
+            clock=self.clock,
+            network=self.network,
+            tracer=self.tracer,
+            takeover_timeout=takeover_timeout,
+        )
+        self.network.register(backup, self.config.controller_nic_bps)
+        self.controller.attach_backup(backup.address)
+        for cub in self.cubs:
+            cub.controller_addresses = ("controller", backup.address)
+        self.backup_controller = backup
+        return backup
+
+    def fail_controller(self) -> None:
+        """Power off the primary controller (failover experiments)."""
+        self.controller.fail()
+
+    def add_clients(self, count: int) -> List[ViewerClient]:
+        return [self.add_client() for _ in range(count)]
+
+    def add_file(
+        self,
+        name: str,
+        duration_s: float,
+        bitrate_bps: Optional[float] = None,
+        start_disk: Optional[int] = None,
+    ) -> TigerFile:
+        """Stripe a file across every disk and index it on every cub.
+
+        Populates each cub's in-memory block index with the primary
+        location and the ``decluster`` secondary pieces of every block
+        (§2.2, §2.3, §4.1.1).
+        """
+        rate = bitrate_bps if bitrate_bps is not None else self.config.max_bitrate_bps
+        entry = self.catalog.add_file(name, rate, duration_s, start_disk)
+        stored = entry.stored_bytes_per_block(
+            MODE_SINGLE_BITRATE, self.config.max_bitrate_bps
+        )
+        piece = self.mirror.piece_size(stored)
+        for block in range(entry.num_blocks):
+            primary_disk = self.layout.disk_of_block(entry.start_disk, block)
+            primary_cub = self.layout.cub_of_disk(primary_disk)
+            self.indexes[primary_cub].add_primary(
+                entry.file_id, block, primary_disk, stored
+            )
+            for piece_index in range(self.config.decluster):
+                piece_disk = self.mirror.piece_location(primary_disk, piece_index)
+                piece_cub = self.layout.cub_of_disk(piece_disk)
+                self.indexes[piece_cub].add_secondary(
+                    entry.file_id, block, piece_index, piece_disk, piece
+                )
+        return entry
+
+    def add_standard_content(
+        self, num_files: int = 16, duration_s: float = 600.0
+    ) -> List[TigerFile]:
+        """A library of equal-length maximum-rate files (the paper's
+        64 one-hour test-pattern files, scaled for simulation)."""
+        return [
+            self.add_file(f"content-{index:03d}", duration_s)
+            for index in range(num_files)
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start cub timers (heartbeats, pumps, deadman checks)."""
+        if self._started:
+            return
+        self._started = True
+        for cub in self.cubs:
+            cub.start()
+
+    def run_until(self, time: float) -> None:
+        self.start()
+        self.sim.run(until=time)
+
+    def run_for(self, duration: float) -> None:
+        self.run_until(self.sim.now + duration)
+
+    def metrics(self, probe_cub: int = 0, probe_disk_cubs=None) -> MetricsCollector:
+        return MetricsCollector(self, probe_cub, probe_disk_cubs)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_cub(self, cub_id: int) -> None:
+        """Cut power to a cub: it stops sending, its disks vanish."""
+        cub = self.cubs[cub_id]
+        cub.fail()
+        for disk in cub.disks.values():
+            disk.fail()
+
+    def recover_cub(self, cub_id: int) -> None:
+        cub = self.cubs[cub_id]
+        for disk in cub.disks.values():
+            disk.recover()
+        cub.recover()
+
+    def fail_disk(self, disk_id: int) -> None:
+        cub = self.cubs[self.layout.cub_of_disk(disk_id)]
+        cub.disks[disk_id].fail()
+        if not cub.failed:
+            cub.on_local_disk_failed(disk_id)
+
+    def recover_disk(self, disk_id: int) -> None:
+        cub = self.cubs[self.layout.cub_of_disk(disk_id)]
+        cub.disks[disk_id].recover()
+
+    def living_cubs(self) -> List[Cub]:
+        return [cub for cub in self.cubs if not cub.failed]
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting
+    # ------------------------------------------------------------------
+    def total_blocks_sent(self) -> int:
+        return sum(cub.blocks_sent.count for cub in self.cubs)
+
+    def total_mirror_pieces_sent(self) -> int:
+        return sum(cub.mirror_pieces_sent.count for cub in self.cubs)
+
+    def total_server_missed(self) -> int:
+        return sum(cub.server_missed_blocks.count for cub in self.cubs)
+
+    def total_failover_losses(self) -> int:
+        return sum(cub.blocks_lost_in_failover.count for cub in self.cubs)
+
+    def total_client_missed(self) -> int:
+        return sum(client.total_missed() for client in self.clients)
+
+    def total_client_late(self) -> int:
+        return sum(client.total_late() for client in self.clients)
+
+    def total_client_received(self) -> int:
+        return sum(client.total_received() for client in self.clients)
+
+    def total_client_corrupt(self) -> int:
+        """Blocks delivered with the wrong content (must stay zero)."""
+        return sum(client.total_corrupt() for client in self.clients)
+
+    def finalize_clients(self) -> None:
+        """Flush partial assembly state at the end of an experiment."""
+        for client in self.clients:
+            for monitor in client.all_monitors():
+                monitor.finalize(self.sim.now)
+
+    def assert_invariants(self) -> None:
+        """The executable form of the coherence argument (tests)."""
+        self.oracle.assert_consistent()
+        for cub in self.living_cubs():
+            # Views must stay bounded: O(leads x capacity share), never
+            # O(total schedule history).
+            bound = 40 * self.config.num_slots + 1000
+            if cub.view.size() > bound:
+                raise AssertionError(
+                    f"{cub.name} view grew to {cub.view.size()} records"
+                )

@@ -1,0 +1,194 @@
+"""A cub's bounded, possibly stale view of the schedule (paper §4.1).
+
+Each cub tracks only the part of the schedule near its own disks: the
+viewer states it has received for upcoming visits (its own and, for
+redundancy, its predecessors'), deschedule tombstones, and an
+idempotence set of recently seen record keys.  Everything expires, so
+the view's size is bounded by the lead-time constants — the paper's
+"necessary but insufficient condition for scalability".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.viewerstate import (
+    DescheduleRequest,
+    MirrorViewerState,
+    ViewerState,
+)
+
+#: Dispositions returned by :meth:`ScheduleView.admit`.
+ADMIT_NEW = "new"
+ADMIT_DUPLICATE = "duplicate"
+ADMIT_DESCHEDULED = "descheduled"
+ADMIT_TOO_LATE = "too-late"
+
+_EPS = 1e-9
+
+
+class ScheduleView:
+    """The per-cub window onto the hallucinated global schedule."""
+
+    def __init__(
+        self,
+        cub_id: int,
+        block_play_time: float,
+        hold_time: float,
+        is_final: Optional[Callable[[ViewerState], bool]] = None,
+    ) -> None:
+        self.cub_id = cub_id
+        self.block_play_time = block_play_time
+        #: How long records linger past their due time before pruning.
+        self.hold_time = hold_time
+        #: Predicate: does this state describe a file's last block?  Used
+        #: so an end-of-play state frees its slot for the next visit.
+        self._is_final = is_final if is_final is not None else (lambda state: False)
+        #: Latest-due viewer state seen per slot (occupancy knowledge).
+        self._slot_states: Dict[int, ViewerState] = {}
+        #: Idempotence: record key -> due time (for expiry).
+        self._seen: Dict[Tuple, float] = {}
+        #: Deschedule tombstones: (viewer, instance, slot) -> expiry time.
+        self._tombstones: Dict[Tuple[str, int, int], float] = {}
+        self._tombstone_requests: Dict[Tuple[str, int, int], DescheduleRequest] = {}
+        #: Slots this cub has tentatively claimed for an insertion that
+        #: has not yet round-tripped into a viewer state.
+        self._reserved_slots: Dict[int, float] = {}
+        self.duplicates_ignored = 0
+        self.states_discarded_late = 0
+
+    # ------------------------------------------------------------------
+    # Admission of viewer states
+    # ------------------------------------------------------------------
+    def admit(self, state: ViewerState, now: float) -> str:
+        """Apply one incoming viewer state; returns its disposition.
+
+        Implements the §4.1.2 receive rules: duplicates are ignored, a
+        matching tombstone kills the state, and a state arriving later
+        than tombstones are held is discarded outright (the paper's
+        "spontaneous deschedule" corner — never observed, but handled).
+        """
+        key = state.key()
+        if key in self._seen:
+            self.duplicates_ignored += 1
+            return ADMIT_DUPLICATE
+        tomb_key = (state.viewer_id, state.instance, state.slot)
+        if tomb_key in self._tombstones:
+            self._seen[key] = state.due_time
+            return ADMIT_DESCHEDULED
+        if state.due_time < now - self.hold_time:
+            # Later than any tombstone could still be held: drop it so a
+            # dead deschedule can never be outrun (§4.1.2).
+            self.states_discarded_late += 1
+            return ADMIT_TOO_LATE
+        self._seen[key] = state.due_time
+        current = self._slot_states.get(state.slot)
+        if current is None or state.due_time > current.due_time + _EPS:
+            self._slot_states[state.slot] = state
+        return ADMIT_NEW
+
+    def admit_mirror(self, state: MirrorViewerState, now: float) -> str:
+        """Idempotence/tombstone filtering for mirror viewer states."""
+        key = state.key()
+        if key in self._seen:
+            self.duplicates_ignored += 1
+            return ADMIT_DUPLICATE
+        tomb_key = (state.viewer_id, state.instance, state.slot)
+        if tomb_key in self._tombstones:
+            self._seen[key] = state.due_time
+            return ADMIT_DESCHEDULED
+        if state.due_time < now - self.hold_time:
+            self.states_discarded_late += 1
+            return ADMIT_TOO_LATE
+        self._seen[key] = state.due_time
+        return ADMIT_NEW
+
+    # ------------------------------------------------------------------
+    # Deschedules
+    # ------------------------------------------------------------------
+    def apply_deschedule(self, request: DescheduleRequest, expiry: float) -> bool:
+        """Install a tombstone; returns False if already held (duplicate)."""
+        key = request.key()
+        if key in self._tombstones:
+            return False
+        self._tombstones[key] = expiry
+        self._tombstone_requests[key] = request
+        current = self._slot_states.get(request.slot)
+        if current is not None and request.matches(current):
+            del self._slot_states[request.slot]
+        return True
+
+    def has_tombstone(self, viewer_id: str, instance: int, slot: int) -> bool:
+        return (viewer_id, instance, slot) in self._tombstones
+
+    # ------------------------------------------------------------------
+    # Occupancy queries (insertion safety, §4.1.3)
+    # ------------------------------------------------------------------
+    def occupied_at(self, slot: int, visit_time: float) -> bool:
+        """Would ``slot`` hold a viewer at ``visit_time``?
+
+        Three cases on the latest state known for the slot:
+
+        * due at or after ``visit_time`` — the occupant will be served
+          at (or beyond) this visit: occupied.
+        * due exactly one block play time earlier — the previous visit's
+          state (e.g. a redundant copy); the viewer continues unless
+          that was its final block: occupied iff non-final.
+        * older — the play ended somewhere upstream (its chain stopped):
+          free.
+
+        The safety of treating "no state" as free rests on
+        minVStateLead >> scheduling lead (§4.1.3): any real occupant's
+        state arrived seconds before the ownership window opened.
+        """
+        if slot in self._reserved_slots:
+            return True
+        state = self._slot_states.get(slot)
+        if state is None:
+            return False
+        if state.due_time >= visit_time - _EPS:
+            return True
+        if state.due_time >= visit_time - self.block_play_time - _EPS:
+            return not self._is_final(state)
+        return False
+
+    def reserve_slot(self, slot: int, until: float) -> None:
+        """Mark a slot claimed by an in-progress local insertion."""
+        self._reserved_slots[slot] = until
+
+    def release_slot(self, slot: int) -> None:
+        self._reserved_slots.pop(slot, None)
+
+    def state_for_slot(self, slot: int) -> Optional[ViewerState]:
+        return self._slot_states.get(slot)
+
+    # ------------------------------------------------------------------
+    # Size management — the scalability condition of §4
+    # ------------------------------------------------------------------
+    def prune(self, now: float) -> None:
+        """Expire stale records; keeps the view size load-bounded."""
+        horizon = now - self.hold_time
+        self._seen = {
+            key: due for key, due in self._seen.items() if due >= horizon
+        }
+        self._slot_states = {
+            slot: state
+            for slot, state in self._slot_states.items()
+            if state.due_time >= horizon - self.block_play_time
+        }
+        expired = [key for key, expiry in self._tombstones.items() if expiry < now]
+        for key in expired:
+            del self._tombstones[key]
+            self._tombstone_requests.pop(key, None)
+        self._reserved_slots = {
+            slot: until
+            for slot, until in self._reserved_slots.items()
+            if until >= now
+        }
+
+    def size(self) -> int:
+        """Total records held — must stay O(leads), not O(system)."""
+        return len(self._seen) + len(self._slot_states) + len(self._tombstones)
+
+    def known_slots(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._slot_states))

@@ -1,0 +1,188 @@
+"""Schedule records that travel between cubs (paper §4.1.1-4.1.2).
+
+Three record types circulate around the ring:
+
+* :class:`ViewerState` — "disk *d* must start sending block *b* of
+  file *f* to viewer *v* at time *t* (slot *s*, play sequence *q*)".
+  Forwarded to the successor *and second successor* ahead of each
+  visit; receiving one is idempotent.
+* :class:`MirrorViewerState` — like a viewer state but describing one
+  declustered secondary *piece* of a block whose primary disk is dead;
+  pieces are spaced ``block_play_time / decluster`` apart.
+* :class:`DescheduleRequest` — "if this instance of this viewer is in
+  this slot, remove it"; deliberately a no-op when it does not match,
+  which is what makes it safe to flood.
+
+All records are frozen dataclasses: protocol state is immutable and
+"advancing" a state produces a new record, which keeps the multiple-
+delivery paths (direct, redundant, bridged) from aliasing each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+_instance_ids = itertools.count(1)
+
+
+def new_instance_id() -> int:
+    """Allocate a unique play-instance id.
+
+    Each *start request* gets its own instance so that a deschedule for
+    an old play of the same viewer can never kill a newer play
+    (§4.1.2: "instance corresponds to the particular start request").
+    """
+    return next(_instance_ids)
+
+
+@dataclass(frozen=True)
+class ViewerState:
+    """One schedule entry, targeted at a specific disk visit."""
+
+    viewer_id: str
+    instance: int
+    slot: int
+    file_id: int
+    block_index: int
+    disk_id: int
+    due_time: float
+    play_seqno: int
+
+    def key(self) -> Tuple[int, int]:
+        """Idempotence key: one per (play instance, position in play)."""
+        return (self.instance, self.play_seqno)
+
+    def advanced(self, hops: int, num_disks: int, block_play_time: float) -> "ViewerState":
+        """The state for the visit ``hops`` disks later.
+
+        Each hop moves one disk forward in stripe order, one block
+        forward in the file, and one block play time forward in time —
+        the lockstep motion of §3.
+        """
+        if hops < 1:
+            raise ValueError("hops must be >= 1")
+        return replace(
+            self,
+            block_index=self.block_index + hops,
+            disk_id=(self.disk_id + hops) % num_disks,
+            due_time=self.due_time + hops * block_play_time,
+            play_seqno=self.play_seqno + hops,
+        )
+
+    def lead_time(self, now: float) -> float:
+        """Seconds between now and when this state's block is due (§4.1.1)."""
+        return self.due_time - now
+
+
+@dataclass(frozen=True)
+class MirrorViewerState:
+    """A schedule entry for one secondary piece of a lost block.
+
+    ``piece`` selects which declustered fragment; ``disk_id`` is the
+    disk holding that fragment (the ``piece+1``-th disk after the dead
+    primary).  ``due_time`` is offset ``piece * block_play_time /
+    decluster`` from the lost block's due time, per §4.1.1.
+    """
+
+    viewer_id: str
+    instance: int
+    slot: int
+    file_id: int
+    block_index: int
+    piece: int
+    decluster: int
+    disk_id: int
+    due_time: float
+    play_seqno: int
+
+    def key(self) -> Tuple[int, int, int]:
+        """Idempotence key: (instance, position, piece)."""
+        return (self.instance, self.play_seqno, self.piece)
+
+
+@dataclass(frozen=True)
+class DescheduleRequest:
+    """Remove ``viewer_id``'s ``instance`` from ``slot`` — if present.
+
+    The conditional semantics make the request idempotent *and*
+    harmless after slot reuse: "Having a deschedule request floating
+    around after the slot has been reallocated will not cause
+    incorrect results" (§4.1.2).
+
+    ``issue_time`` dates the request so cubs can stop propagating it
+    once it has outrun every possible viewer state.
+    """
+
+    viewer_id: str
+    instance: int
+    slot: int
+    issue_time: float
+
+    def key(self) -> Tuple[str, int, int]:
+        return (self.viewer_id, self.instance, self.slot)
+
+    def matches(self, state: ViewerState) -> bool:
+        """True if ``state`` belongs to the play this request kills."""
+        return (
+            state.viewer_id == self.viewer_id
+            and state.instance == self.instance
+            and state.slot == self.slot
+        )
+
+    def matches_mirror(self, state: MirrorViewerState) -> bool:
+        return (
+            state.viewer_id == self.viewer_id
+            and state.instance == self.instance
+            and state.slot == self.slot
+        )
+
+
+def make_initial_state(
+    viewer_id: str,
+    instance: int,
+    slot: int,
+    file_id: int,
+    first_block: int,
+    disk_id: int,
+    due_time: float,
+) -> ViewerState:
+    """The state created by the inserting cub at schedule entry (§4.1.3)."""
+    return ViewerState(
+        viewer_id=viewer_id,
+        instance=instance,
+        slot=slot,
+        file_id=file_id,
+        block_index=first_block,
+        disk_id=disk_id,
+        due_time=due_time,
+        play_seqno=0,
+    )
+
+
+def mirror_states_for(
+    state: ViewerState, decluster: int, num_disks: int, block_play_time: float
+) -> Tuple[MirrorViewerState, ...]:
+    """Mirror states covering ``state`` when its disk is dead (§4.1.1).
+
+    Piece *k* lives on the (k+1)-th disk after the dead primary and is
+    due ``k * block_play_time / decluster`` after the block's own due
+    time, so the pieces arrive back-to-back within one play time.
+    """
+    spacing = block_play_time / decluster
+    return tuple(
+        MirrorViewerState(
+            viewer_id=state.viewer_id,
+            instance=state.instance,
+            slot=state.slot,
+            file_id=state.file_id,
+            block_index=state.block_index,
+            piece=piece,
+            decluster=decluster,
+            disk_id=(state.disk_id + 1 + piece) % num_disks,
+            due_time=state.due_time + piece * spacing,
+            play_seqno=state.play_seqno,
+        )
+        for piece in range(decluster)
+    )

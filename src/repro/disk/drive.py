@@ -1,0 +1,127 @@
+"""A simulated disk drive with a FIFO request queue and failure injection."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.disk.model import DiskParameters
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import BusyMeter, Counter
+from repro.sim.trace import Tracer
+
+#: Signature of a read-completion callback: receives the completion time.
+CompletionCallback = Callable[[float], None]
+#: Signature of a read-error callback (disk failed before completion).
+ErrorCallback = Callable[[], None]
+
+
+class SimDisk(Process):
+    """One drive: serial arm, FIFO queue, zoned service times, failures.
+
+    The single-bitrate Tiger issues reads in schedule order and the
+    schedule already spaces them one block service time apart, so FIFO
+    service is faithful to the system being modelled (§3.1).  Reads on
+    a failed drive invoke their error callback instead of completing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: DiskParameters,
+        rngs: RngRegistry,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(sim, name, tracer)
+        self.params = params
+        self._rng = rngs.stream(f"disk.{name}")
+        self._free_at = sim.now
+        self.busy = BusyMeter(sim.now)
+        self.failed = False
+        self.reads_completed = Counter()
+        self.bytes_read = Counter()
+        self.reads_errored = Counter()
+        self._pending: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        size_bytes: int,
+        zone: str,
+        on_complete: CompletionCallback,
+        on_error: Optional[ErrorCallback] = None,
+    ) -> None:
+        """Queue a contiguous read of ``size_bytes`` from ``zone``.
+
+        ``on_complete(completion_time)`` fires when the data is in the
+        buffer; ``on_error()`` fires (at the request time or at failure
+        time) if the drive fails first.
+        """
+        if size_bytes <= 0:
+            raise ValueError("read size must be positive")
+        if self.failed:
+            self.reads_errored.increment()
+            if on_error is not None:
+                self.sim.call_after(0.0, on_error)
+            return
+
+        service = self.params.sample_read_time(self._rng, zone, size_bytes)
+        start = max(self.sim.now, self._free_at)
+        completion = start + service
+        self._free_at = completion
+        self.busy.add_busy(self.sim.now, service)
+
+        def finish() -> None:
+            if self.failed:
+                self.reads_errored.increment()
+                if on_error is not None:
+                    on_error()
+                return
+            self.reads_completed.increment()
+            self.bytes_read.increment(size_bytes)
+            on_complete(self.sim.now)
+
+        event = self.sim.call_at(completion, finish)
+        self._track_pending(event)
+
+    def _track_pending(self, event: Event) -> None:
+        self._pending.append(event)
+        if len(self._pending) > 128:
+            self._pending = [entry for entry in self._pending if entry.active]
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Fail the drive: in-flight reads error, future reads error."""
+        if self.failed:
+            return
+        self.failed = True
+        self.trace("disk.fail", "drive failed")
+        # In-flight completions still fire but route to the error path
+        # via the `finish` closure checking `self.failed`.
+
+    def recover(self) -> None:
+        self.failed = False
+        self._free_at = self.sim.now
+        self.trace("disk.recover", "drive recovered")
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Duty cycle over the current measurement window."""
+        return self.busy.utilization(self.sim.now if now is None else now)
+
+    def reset_measurement(self) -> None:
+        self.busy.reset(self.sim.now)
+
+    @property
+    def queue_backlog(self) -> float:
+        """Seconds of queued work ahead of a request issued now."""
+        return max(0.0, self._free_at - self.sim.now)

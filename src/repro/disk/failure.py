@@ -1,0 +1,70 @@
+"""Failure-injection helpers for disks and cubs.
+
+Experiments schedule failures at absolute times (the paper's
+failed-mode test fails a cub "for the entire duration of the run"; the
+reconfiguration test cuts power mid-run at 50% load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled component failure or recovery."""
+
+    time: float
+    component: str  # e.g. "cub:3" or "disk:17"
+    action: str = "fail"  # "fail" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("fail", "recover"):
+            raise ValueError(f"unknown action {self.action!r}")
+        kind = self.component.split(":", 1)[0]
+        if kind not in ("cub", "disk"):
+            raise ValueError(f"unknown component kind in {self.component!r}")
+
+
+@dataclass
+class FailurePlan:
+    """An ordered set of failure events applied to a running system."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def fail_cub(self, cub_id: int, at: float = 0.0) -> "FailurePlan":
+        self.events.append(FailureEvent(at, f"cub:{cub_id}", "fail"))
+        return self
+
+    def recover_cub(self, cub_id: int, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, f"cub:{cub_id}", "recover"))
+        return self
+
+    def fail_disk(self, disk_id: int, at: float = 0.0) -> "FailurePlan":
+        self.events.append(FailureEvent(at, f"disk:{disk_id}", "fail"))
+        return self
+
+    def parse(self) -> List[Tuple[float, str, int, str]]:
+        """Decode to (time, kind, index, action), sorted by time."""
+        decoded = []
+        for event in sorted(self.events, key=lambda entry: entry.time):
+            kind, raw_index = event.component.split(":", 1)
+            decoded.append((event.time, kind, int(raw_index), event.action))
+        return decoded
+
+    def install(self, sim: Simulator, system: "object") -> None:
+        """Schedule every event against ``system``.
+
+        ``system`` must expose ``fail_cub`` / ``recover_cub`` /
+        ``fail_disk`` / ``recover_disk`` methods (see
+        :class:`repro.core.tiger.TigerSystem`).
+        """
+        for time, kind, index, action in self.parse():
+            method = getattr(system, f"{action}_{kind}")
+            if time <= sim.now:
+                method(index)
+            else:
+                sim.call_at(time, method, index)

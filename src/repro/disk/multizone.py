@@ -1,0 +1,196 @@
+"""Finer-grained disk modelling: multi-zone geometry and seek curves.
+
+The core reproduction uses the paper's own two-zone abstraction (fast
+outer half for primaries, slow inner half for secondaries, §2.3).
+Real drives have many zones and a non-linear seek profile
+[Ruemmler94; Van Meter97]; this module provides both for studies that
+need them — e.g. validating that the two-zone reduction preserves the
+capacity arithmetic — without burdening the protocol hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.disk.zones import ZoneGeometry
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One recording zone: a fraction of the LBA space at one rate.
+
+    ``start`` / ``end`` are fractions of the drive's logical space
+    (0 = outermost byte, 1 = innermost), ``rate`` in bytes/second.
+    """
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start < self.end <= 1.0:
+            raise ValueError("zone must span a non-empty slice of [0, 1]")
+        if self.rate <= 0:
+            raise ValueError("zone rate must be positive")
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+
+class MultiZoneGeometry:
+    """A drive as a contiguous sequence of zones, outermost first."""
+
+    def __init__(self, zones: Sequence[Zone]) -> None:
+        if not zones:
+            raise ValueError("need at least one zone")
+        cursor = 0.0
+        for zone in zones:
+            if abs(zone.start - cursor) > _EPS:
+                raise ValueError(
+                    f"zones must tile [0, 1]: gap/overlap at {zone.start}"
+                )
+            cursor = zone.end
+        if abs(cursor - 1.0) > _EPS:
+            raise ValueError("zones must cover the whole drive")
+        for outer, inner in zip(zones, zones[1:]):
+            if inner.rate > outer.rate + _EPS:
+                raise ValueError(
+                    "transfer rate must not increase toward the spindle"
+                )
+        self.zones: Tuple[Zone, ...] = tuple(zones)
+
+    # ------------------------------------------------------------------
+    def rate_at(self, position: float) -> float:
+        """Transfer rate at LBA fraction ``position``."""
+        if not 0.0 <= position <= 1.0:
+            raise ValueError("position must be within [0, 1]")
+        for zone in self.zones:
+            if position < zone.end or zone is self.zones[-1]:
+                if position >= zone.start - _EPS:
+                    return zone.rate
+        raise AssertionError("unreachable: zones tile [0, 1]")
+
+    def transfer_time(
+        self, position: float, size_bytes: int, capacity_bytes: float
+    ) -> float:
+        """Seconds to read ``size_bytes`` starting at LBA ``position``.
+
+        Reads spanning zone boundaries pay each zone's rate for the
+        bytes inside it.
+        """
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        remaining = float(size_bytes)
+        cursor = position
+        total = 0.0
+        for zone in self.zones:
+            if cursor >= zone.end - _EPS:
+                continue
+            span_bytes = (zone.end - max(cursor, zone.start)) * capacity_bytes
+            chunk = min(remaining, span_bytes)
+            total += chunk / zone.rate
+            remaining -= chunk
+            cursor = zone.end
+            if remaining <= _EPS:
+                return total
+        if remaining > _EPS:
+            raise ValueError("read runs past the end of the drive")
+        return total
+
+    def mean_rate(self, start: float = 0.0, end: float = 1.0) -> float:
+        """Capacity-weighted mean transfer rate over [start, end]."""
+        if not 0.0 <= start < end <= 1.0 + _EPS:
+            raise ValueError("need 0 <= start < end <= 1")
+        weighted = 0.0
+        for zone in self.zones:
+            lo = max(start, zone.start)
+            hi = min(end, zone.end)
+            if hi > lo:
+                weighted += (hi - lo) * zone.rate
+        return weighted / (end - start)
+
+    def to_two_zone(self) -> ZoneGeometry:
+        """Reduce to the paper's outer-half / inner-half abstraction.
+
+        Harmonic (time-correct) mean per half: total read time over a
+        half at the reduced rate equals the multi-zone total.
+        """
+        def harmonic(start: float, end: float) -> float:
+            time_per_byte = 0.0
+            for zone in self.zones:
+                lo = max(start, zone.start)
+                hi = min(end, zone.end)
+                if hi > lo:
+                    time_per_byte += (hi - lo) / zone.rate
+            return (end - start) / time_per_byte
+
+        return ZoneGeometry(
+            outer_rate=harmonic(0.0, 0.5), inner_rate=harmonic(0.5, 1.0)
+        )
+
+
+def linear_taper_zones(
+    num_zones: int, outer_rate: float, inner_rate: float
+) -> MultiZoneGeometry:
+    """A drive whose zone rates taper linearly outer -> inner, the
+    first-order shape measured by [Van Meter97]."""
+    if num_zones < 1:
+        raise ValueError("need at least one zone")
+    if inner_rate > outer_rate:
+        raise ValueError("inner rate cannot exceed outer rate")
+    zones: List[Zone] = []
+    for index in range(num_zones):
+        start = index / num_zones
+        end = (index + 1) / num_zones
+        mid = (index + 0.5) / num_zones
+        rate = outer_rate + (inner_rate - outer_rate) * mid
+        zones.append(Zone(start, end, rate))
+    return MultiZoneGeometry(zones)
+
+
+def seek_time(
+    distance_fraction: float,
+    min_seek: float = 0.0015,
+    max_seek: float = 0.016,
+    settle_boundary: float = 0.3,
+) -> float:
+    """Seek duration for a given stroke fraction [Ruemmler94].
+
+    Short seeks are acceleration-dominated (square root of distance);
+    long seeks coast at constant velocity (linear).  The two pieces
+    join continuously at ``settle_boundary``.
+    """
+    if not 0.0 <= distance_fraction <= 1.0:
+        raise ValueError("distance must be a fraction of the full stroke")
+    if not 0 < min_seek < max_seek:
+        raise ValueError("need 0 < min_seek < max_seek")
+    if distance_fraction == 0.0:
+        return 0.0
+    boundary_value = min_seek + (max_seek - min_seek) * settle_boundary
+    if distance_fraction <= settle_boundary:
+        scale = math.sqrt(distance_fraction / settle_boundary)
+        return min_seek + (boundary_value - min_seek) * scale
+    span = (distance_fraction - settle_boundary) / (1.0 - settle_boundary)
+    return boundary_value + (max_seek - boundary_value) * span
+
+
+def expected_random_seek(min_seek: float = 0.0015, max_seek: float = 0.016) -> float:
+    """Mean seek over uniformly random start/end positions.
+
+    The mean |x - y| for x, y uniform on [0, 1] is 1/3; we integrate
+    the piecewise curve numerically (closed form is unenlightening).
+    """
+    steps = 1000
+    total = 0.0
+    for index in range(steps):
+        distance = (index + 0.5) / steps
+        density = 2.0 * (1.0 - distance)  # pdf of |x - y|
+        total += seek_time(distance, min_seek, max_seek) * density / steps
+    return total

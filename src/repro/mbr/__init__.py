@@ -1,0 +1,27 @@
+"""Multiple-bitrate Tiger (§3.2, §4.2) — including the disk path the
+1997 implementation left unwritten: EDF disk service, joint disk +
+network admission, and the bottleneck-crossover experiment."""
+
+from repro.mbr.admission import (
+    LIMIT_DISK,
+    LIMIT_NETWORK,
+    LIMIT_NONE,
+    AdmittedStream,
+    MbrAdmission,
+)
+from repro.mbr.diskqueue import EdfDiskQueue, edf_feasible, periodic_stream_feasible
+from repro.mbr.system import MbrCubSimulation, StreamServiceStats, run_mix_experiment
+
+__all__ = [
+    "MbrAdmission",
+    "AdmittedStream",
+    "LIMIT_DISK",
+    "LIMIT_NETWORK",
+    "LIMIT_NONE",
+    "EdfDiskQueue",
+    "edf_feasible",
+    "periodic_stream_feasible",
+    "MbrCubSimulation",
+    "StreamServiceStats",
+    "run_mix_experiment",
+]

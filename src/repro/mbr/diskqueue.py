@@ -1,0 +1,146 @@
+"""Deadline-ordered disk service for the multiple-bitrate Tiger (§3.2).
+
+In the single-bitrate system the disk schedule fixes both *what* and
+*when*.  In the multiple-bitrate system the network schedule carries
+the timing, so "the specific time ordering information in the disk
+schedule is not necessary ... entries in the disk schedule are free to
+move around, as long as they're completed before they're due at the
+network.  Because of this reordering property, fragmentation does not
+occur in the disk schedule."
+
+:class:`EdfDiskQueue` implements that freedom as earliest-deadline-
+first service on top of a serial drive, plus the feasibility test an
+admission controller needs: a candidate read set is schedulable iff,
+for every deadline d, the total service demand of reads due by d fits
+in the time available until d (the classic EDF demand criterion for
+aperiodic jobs, exact for a single non-preemptive-ish resource at this
+granularity).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.disk.drive import SimDisk
+from repro.disk.model import DiskParameters
+from repro.sim.core import Simulator
+from repro.sim.stats import Counter
+
+_request_ids = itertools.count()
+
+
+@dataclass(order=True)
+class _QueuedRead:
+    deadline: float
+    seq: int
+    size_bytes: int = field(compare=False)
+    zone: str = field(compare=False)
+    on_complete: Callable[[float], None] = field(compare=False)
+    on_miss: Optional[Callable[[float], None]] = field(compare=False, default=None)
+
+
+class EdfDiskQueue:
+    """Earliest-deadline-first front end over one :class:`SimDisk`.
+
+    Reads are queued with a network deadline; the drive serves the
+    most urgent one next.  Completions after their deadline invoke
+    ``on_miss`` instead of ``on_complete``.
+    """
+
+    def __init__(self, sim: Simulator, disk: SimDisk) -> None:
+        self.sim = sim
+        self.disk = disk
+        self._heap: List[_QueuedRead] = []
+        self._busy = False
+        self.completed_on_time = Counter()
+        self.completed_late = Counter()
+
+    def submit(
+        self,
+        size_bytes: int,
+        zone: str,
+        deadline: float,
+        on_complete: Callable[[float], None],
+        on_miss: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Queue a read that must finish by ``deadline``."""
+        if size_bytes <= 0:
+            raise ValueError("read size must be positive")
+        entry = _QueuedRead(
+            deadline=deadline,
+            seq=next(_request_ids),
+            size_bytes=size_bytes,
+            zone=zone,
+            on_complete=on_complete,
+            on_miss=on_miss,
+        )
+        heapq.heappush(self._heap, entry)
+        self._issue_next()
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap) + (1 if self._busy else 0)
+
+    def _issue_next(self) -> None:
+        if self._busy or not self._heap:
+            return
+        entry = heapq.heappop(self._heap)
+        self._busy = True
+
+        def finished(when: float) -> None:
+            self._busy = False
+            if when <= entry.deadline + 1e-9:
+                self.completed_on_time.increment()
+                entry.on_complete(when)
+            else:
+                self.completed_late.increment()
+                if entry.on_miss is not None:
+                    entry.on_miss(when)
+                else:
+                    entry.on_complete(when)
+            self._issue_next()
+
+        def errored() -> None:
+            self._busy = False
+            self.completed_late.increment()
+            if entry.on_miss is not None:
+                entry.on_miss(self.sim.now)
+            self._issue_next()
+
+        self.disk.read(entry.size_bytes, entry.zone, finished, on_error=errored)
+
+
+def edf_feasible(
+    jobs: Sequence[Tuple[float, float]], start_time: float = 0.0
+) -> bool:
+    """EDF demand test: ``jobs`` is (service_time, deadline) pairs.
+
+    Feasible iff for every deadline d (in sorted order), the sum of
+    service times of jobs with deadline <= d fits in ``d - start``.
+    """
+    demand = 0.0
+    for service, deadline in sorted(jobs, key=lambda job: job[1]):
+        if service < 0:
+            raise ValueError("negative service time")
+        demand += service
+        if demand > (deadline - start_time) + 1e-9:
+            return False
+    return True
+
+
+def periodic_stream_feasible(
+    params: DiskParameters,
+    block_sizes: Sequence[int],
+    zone: str,
+    period: float,
+) -> bool:
+    """Long-run feasibility of one disk serving one block per stream
+    per ``period`` (the multiple-bitrate steady state): total expected
+    service per period must fit in the period."""
+    total = sum(
+        params.expected_read_time(zone, size) for size in block_sizes
+    )
+    return total <= period + 1e-9

@@ -1,0 +1,67 @@
+"""Message types carried by the simulated switched network.
+
+Tiger's wire traffic falls into two classes with very different sizes:
+
+* **control** — viewer states, deschedules, start/stop requests,
+  deadman heartbeats, schedule reservations.  The paper sizes the
+  cub-to-cub viewer state message at roughly 100 bytes.
+* **data** — file blocks sent from cubs to viewers (0.25 MB for the
+  paper's single-bitrate configuration).
+
+Both ride the same switched fabric; the distinction matters for the
+control-traffic measurements in Figures 8/9 and the scalability
+analysis of section 3.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Approximate size of one viewer-state record on the wire (paper §3.3).
+VIEWER_STATE_BYTES = 100
+#: Size of a deschedule request message.
+DESCHEDULE_BYTES = 64
+#: Size of a start-play / stop-play request from a client.
+REQUEST_BYTES = 128
+#: Size of a deadman heartbeat.
+HEARTBEAT_BYTES = 32
+#: Size of a network-schedule reservation query/confirmation (§4.2).
+RESERVATION_BYTES = 80
+#: Fixed framing overhead added to batched control messages.
+BATCH_HEADER_BYTES = 40
+
+KIND_CONTROL = "control"
+KIND_DATA = "data"
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A unit of traffic between two network addresses.
+
+    ``payload`` is an arbitrary protocol object (e.g. a list of
+    :class:`~repro.core.viewerstate.ViewerState`); the network treats it
+    opaquely and only uses ``size_bytes`` for timing.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    kind: str = KIND_CONTROL
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("messages must have positive size")
+        if self.kind not in (KIND_CONTROL, KIND_DATA):
+            raise ValueError(f"unknown message kind {self.kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} "
+            f"{self.kind} {self.size_bytes}B>"
+        )

@@ -1,0 +1,56 @@
+"""Network interface card model.
+
+Each node owns one NIC.  The NIC serializes outgoing messages at its
+line rate: a message occupies the link for ``size / bandwidth`` seconds
+and sends queue behind one another (FIFO).  This is what bounds a cub's
+streaming capacity when the disks are not the bottleneck, and it is the
+resource whose utilization the network schedule (§3.2) manages.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import BusyMeter, RateMeter
+
+
+class Nic:
+    """An egress-serialized network interface.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Line rate in bits per second (the paper's FORE OC-3 adapters
+        are ~155 Mbit/s; we default lower-order components elsewhere).
+    """
+
+    def __init__(self, bandwidth_bps: float, start_time: float = 0.0) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.busy = BusyMeter(start_time)
+        self.bytes_sent = RateMeter(start_time)
+        self.messages_sent = 0
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Seconds the wire is occupied by a message of ``size_bytes``."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def enqueue(self, now: float, size_bytes: int) -> float:
+        """Account for sending ``size_bytes`` at ``now``.
+
+        Returns the time at which the last byte leaves the NIC (i.e.
+        when the message has fully departed).  Messages queue FIFO
+        behind any in-flight transmission.
+        """
+        delay = self.serialization_delay(size_bytes)
+        departure_start = max(now, self.busy.busy_until)
+        self.busy.add_busy(now, delay)
+        self.bytes_sent.add(size_bytes)
+        self.messages_sent += 1
+        return departure_start + delay
+
+    def utilization(self, now: float) -> float:
+        return self.busy.utilization(now)
+
+    def queue_delay(self, now: float) -> float:
+        """How long a message enqueued now would wait before transmitting."""
+        return max(0.0, self.busy.busy_until - now)

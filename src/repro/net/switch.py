@@ -1,0 +1,194 @@
+"""The switched network fabric.
+
+Models the paper's assumption (§2.1): a single switch "of sufficient
+bandwidth to carry all necessary traffic", so contention happens only
+at the endpoints' NICs.  Each registered node gets a NIC; sending a
+message serializes it on the sender's NIC, adds propagation latency
+(base + jitter), and delivers in order per (src, dst) pair — the FIFO
+guarantee Tiger gets from running TCP between cubs (§4.1.3 relies on
+it for deschedule-before-insert ordering).
+
+Failure semantics: messages from a failed node are dropped at the
+source; messages to a failed node are dropped at the destination (see
+:meth:`NetworkNode.deliver`).  Partition sets allow link-level drops
+for fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.net.message import KIND_CONTROL, KIND_DATA, Message
+from repro.net.nic import Nic
+from repro.net.node import NetworkNode
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import RateMeter
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Minimum spacing enforced between ordered deliveries on one flow.
+_FIFO_EPSILON = 1e-9
+
+
+class SwitchedNetwork:
+    """A star topology: every node's NIC feeds an uncontended switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        base_latency: float = 0.0005,
+        latency_jitter: float = 0.0002,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.base_latency = base_latency
+        self.latency_jitter = latency_jitter
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._rng = rngs.stream("network.latency")
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._nics: Dict[str, Nic] = {}
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
+        self._delivery_hooks: list = []
+        # Traffic accounting, per node and kind — feeds the Fig 8/9
+        # "control traffic" series and the §3.3 scalability table.
+        self.control_bytes_from: Dict[str, RateMeter] = {}
+        self.data_bytes_from: Dict[str, RateMeter] = {}
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def register(self, node: NetworkNode, nic_bandwidth_bps: float) -> None:
+        """Attach ``node`` with a NIC of the given line rate."""
+        if node.address in self._nodes:
+            raise ValueError(f"duplicate network address {node.address!r}")
+        self._nodes[node.address] = node
+        self._nics[node.address] = Nic(nic_bandwidth_bps, self.sim.now)
+        self.control_bytes_from[node.address] = RateMeter(self.sim.now)
+        self.data_bytes_from[node.address] = RateMeter(self.sim.now)
+
+    def node(self, address: str) -> NetworkNode:
+        return self._nodes[address]
+
+    def nic(self, address: str) -> Nic:
+        return self._nics[address]
+
+    def partition(self, src: str, dst: str) -> None:
+        """Drop all future traffic on the directed link ``src -> dst``."""
+        self._partitioned.add((src, dst))
+
+    def heal(self, src: str, dst: str) -> None:
+        self._partitioned.discard((src, dst))
+
+    def add_delivery_hook(self, hook: Callable[[Message, float], None]) -> None:
+        """Observe every successful delivery (message, arrival_time)."""
+        self._delivery_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> bool:
+        """Inject ``message``; returns False if dropped at the source.
+
+        Delivery time = NIC departure (FIFO serialization at the sender)
+        + switch propagation latency + jitter, clamped to preserve
+        per-flow FIFO order.
+        """
+        src_node = self._nodes.get(message.src)
+        if src_node is None:
+            raise KeyError(f"unknown source address {message.src!r}")
+        if message.dst not in self._nodes:
+            raise KeyError(f"unknown destination address {message.dst!r}")
+        if src_node.failed or (message.src, message.dst) in self._partitioned:
+            self.messages_dropped += 1
+            return False
+
+        nic = self._nics[message.src]
+        departure = nic.enqueue(self.sim.now, message.size_bytes)
+        jitter = self._rng.random() * self.latency_jitter
+        arrival = departure + self.base_latency + jitter
+
+        flow = (message.src, message.dst)
+        floor = self._last_arrival.get(flow, -1.0) + _FIFO_EPSILON
+        arrival = max(arrival, floor)
+        self._last_arrival[flow] = arrival
+
+        if message.kind == KIND_CONTROL:
+            self.control_bytes_from[message.src].add(message.size_bytes)
+        elif message.kind == KIND_DATA:
+            self.data_bytes_from[message.src].add(message.size_bytes)
+
+        self.sim.call_at(arrival, self._deliver, message)
+        return True
+
+    def send_paced(self, message: Message, pacing_duration: float) -> bool:
+        """Inject a stream-paced data message.
+
+        Tiger transmits a block at the stream's bitrate, so the last
+        byte leaves one pacing duration (one block play time for a full
+        block) after the send starts; the paper's clients time arrival
+        of the last byte.  The sender's NIC is charged its serialization
+        share (``size/bandwidth``) for utilization accounting, since
+        paced streams interleave on the wire.
+        """
+        if pacing_duration < 0:
+            raise ValueError("negative pacing duration")
+        src_node = self._nodes.get(message.src)
+        if src_node is None:
+            raise KeyError(f"unknown source address {message.src!r}")
+        if message.dst not in self._nodes:
+            raise KeyError(f"unknown destination address {message.dst!r}")
+        if src_node.failed or (message.src, message.dst) in self._partitioned:
+            self.messages_dropped += 1
+            return False
+
+        nic = self._nics[message.src]
+        nic.busy.add_busy(self.sim.now, nic.serialization_delay(message.size_bytes))
+        nic.bytes_sent.add(message.size_bytes)
+        nic.messages_sent += 1
+
+        jitter = self._rng.random() * self.latency_jitter
+        arrival = self.sim.now + pacing_duration + self.base_latency + jitter
+        # No per-flow FIFO floor here: paced streams are cell-interleaved
+        # on the ATM fabric, so a small transfer (a mirror piece) is NOT
+        # serialized behind a large in-flight block to the same client.
+
+        if message.kind == KIND_CONTROL:
+            self.control_bytes_from[message.src].add(message.size_bytes)
+        elif message.kind == KIND_DATA:
+            self.data_bytes_from[message.src].add(message.size_bytes)
+
+        self.sim.call_at(arrival, self._deliver, message)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:  # pragma: no cover - nodes are never unregistered
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.tracer.emit(
+            self.sim.now,
+            "net.deliver",
+            f"{message.src}->{message.dst}",
+            kind=message.kind,
+            size=message.size_bytes,
+        )
+        for hook in self._delivery_hooks:
+            hook(message, self.sim.now)
+        node.deliver(message)
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def control_rate_from(self, address: str, now: Optional[float] = None) -> float:
+        """Control bytes/sec from ``address`` since the last snapshot."""
+        return self.control_bytes_from[address].snapshot(
+            self.sim.now if now is None else now
+        )
+
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)

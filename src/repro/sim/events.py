@@ -1,0 +1,69 @@
+"""Event objects for the discrete-event simulator.
+
+An :class:`Event` is a scheduled callback.  Events are ordered by
+``(time, priority, seq)`` so that simultaneous events fire in a
+deterministic order: lower priority values first, then insertion order.
+Events may be cancelled; cancelled events are skipped (and lazily
+discarded) by the simulator loop rather than removed from the heap,
+which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Tuple
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for events that must run before ordinary ones at the same time.
+PRIORITY_HIGH = -10
+#: Priority for bookkeeping that should run after ordinary events.
+PRIORITY_LOW = 10
+
+_seq_counter = itertools.count()
+
+
+class Event:
+    """A single scheduled callback within a :class:`~repro.sim.core.Simulator`.
+
+    Users normally obtain events from :meth:`Simulator.call_at` or
+    :meth:`Simulator.call_after` rather than constructing them directly.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        if fn is None:
+            raise ValueError("event callback must not be None")
+        self.time = float(time)
+        self.priority = priority
+        self.seq = next(_seq_counter)
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {state} fn={name}>"

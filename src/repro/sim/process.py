@@ -1,0 +1,80 @@
+"""Base class for simulated components ("processes").
+
+A :class:`Process` owns a reference to the simulator, a stable name
+(used for RNG streams and tracing), and helpers for periodic timers.
+It is a convenience layer only — nothing in the kernel requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class Process:
+    """A named simulation participant with timer bookkeeping."""
+
+    def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._timers: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn`` after ``delay`` seconds, tracked for shutdown."""
+        event = self.sim.call_after(delay, fn, *args)
+        self._remember(event)
+        return event
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn`` at absolute ``time``, tracked for shutdown."""
+        event = self.sim.call_at(time, fn, *args)
+        self._remember(event)
+        return event
+
+    def every(self, period: float, fn: Callable[[], Any], jitter_fn=None) -> Event:
+        """Run ``fn`` every ``period`` seconds until :meth:`cancel_timers`.
+
+        ``jitter_fn``, if given, returns an additive offset applied to
+        each interval (used by the deadman protocol to avoid lockstep
+        heartbeats).
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+
+        def tick() -> None:
+            fn()
+            delay = period + (jitter_fn() if jitter_fn else 0.0)
+            event = self.sim.call_after(max(1e-9, delay), tick)
+            self._remember(event)
+
+        first = self.sim.call_after(period + (jitter_fn() if jitter_fn else 0.0), tick)
+        self._remember(first)
+        return first
+
+    def cancel_timers(self) -> None:
+        """Cancel every outstanding timer this process scheduled."""
+        for event in self._timers:
+            event.cancel()
+        self._timers.clear()
+
+    def _remember(self, event: Event) -> None:
+        self._timers.append(event)
+        # Opportunistically compact so long-lived processes don't leak.
+        if len(self._timers) > 256:
+            self._timers = [entry for entry in self._timers if entry.active]
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def trace(self, category: str, message: str, **fields: Any) -> None:
+        self.tracer.emit(self.sim.now, category, f"{self.name}: {message}", **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,255 @@
+"""Measurement primitives used by the metrics layer and benchmarks.
+
+All accumulators are plain Python so they work inside the simulator's
+hot path without pulling numpy into the core library.  The benchmark
+harness converts to numpy arrays only at reporting time.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("Counter only counts up")
+        self.count += by
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.count}>"
+
+
+class WelfordAccumulator:
+    """Streaming mean / variance via Welford's algorithm."""
+
+    __slots__ = ("n", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant value and its time-weighted average.
+
+    Used for utilization-style metrics: queue depths, busy flags, and
+    instantaneous load.  ``update`` records a new value effective at
+    time ``now``; ``average`` integrates the step function.
+    """
+
+    __slots__ = ("_last_time", "_last_value", "_area", "_start", "current")
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._start = start_time
+        self._last_time = start_time
+        self._last_value = float(initial)
+        self._area = 0.0
+        self.current = float(initial)
+
+    def update(self, now: float, value: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = float(value)
+        self.current = float(value)
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean over ``[start, now]``."""
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._last_value
+        area = self._area + self._last_value * (now - self._last_time)
+        return area / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart the averaging window at ``now`` keeping the current value."""
+        self._start = now
+        self._last_time = now
+        self._area = 0.0
+
+
+class BusyMeter:
+    """Accumulates busy time for a resource (disk, NIC, CPU proxy).
+
+    Busy intervals may be reported as explicit durations; the meter
+    answers "what fraction of the window was this resource busy".
+    Overlapping busy intervals saturate at 100% via interval merging of
+    a single outstanding busy-until horizon, which matches how a serial
+    resource (one disk arm, one NIC) actually behaves.
+    """
+
+    __slots__ = ("_busy_until", "_busy_accum", "_window_start")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._busy_until = start_time
+        self._busy_accum = 0.0
+        self._window_start = start_time
+
+    def add_busy(self, now: float, duration: float) -> None:
+        """Mark the resource busy for ``duration`` starting at ``now``.
+
+        If the resource is already busy past ``now``, the new work is
+        appended after the current horizon (serial resource semantics).
+        """
+        if duration < 0:
+            raise ValueError("negative busy duration")
+        start = max(now, self._busy_until)
+        self._busy_until = start + duration
+        self._busy_accum += duration
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def utilization(self, now: float) -> float:
+        """Fraction of ``[window_start, now]`` spent busy (may be capped at 1)."""
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        # Work scheduled beyond `now` has not happened yet.
+        busy = self._busy_accum - max(0.0, self._busy_until - now)
+        return min(1.0, max(0.0, busy / elapsed))
+
+    def reset(self, now: float) -> None:
+        self._window_start = now
+        self._busy_accum = max(0.0, self._busy_until - now)
+
+
+class Histogram:
+    """A simple exact histogram with quantile queries.
+
+    Stores all samples (sorted insert).  Fine for the ten-thousands of
+    samples our experiments generate; not meant for millions.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: List[float] = []
+
+    def add(self, value: float) -> None:
+        insort(self._sorted, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def n(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        return tuple(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, q in [0, 1]."""
+        if not self._sorted:
+            raise ValueError("empty histogram")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        pos = q * (len(self._sorted) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(self._sorted) - 1)
+        frac = pos - lo
+        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+
+    def mean(self) -> float:
+        if not self._sorted:
+            raise ValueError("empty histogram")
+        return sum(self._sorted) / len(self._sorted)
+
+    def count_above(self, threshold: float) -> int:
+        return len(self._sorted) - bisect_right(self._sorted, threshold)
+
+
+class RateMeter:
+    """Counts events/bytes in a sliding measurement window.
+
+    ``snapshot(now)`` returns the rate since the previous snapshot and
+    restarts the window — matching the paper's per-ramp-step sampling.
+    """
+
+    __slots__ = ("_total", "_window_start", "_window_total")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._total = 0.0
+        self._window_start = start_time
+        self._window_total = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self._total += amount
+        self._window_total += amount
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def snapshot(self, now: float) -> float:
+        """Rate (amount/second) since the last snapshot; resets the window."""
+        elapsed = now - self._window_start
+        rate = self._window_total / elapsed if elapsed > 0 else 0.0
+        self._window_start = now
+        self._window_total = 0.0
+        return rate
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """A small descriptive-statistics helper for reports."""
+    if not values:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+    hist = Histogram()
+    hist.extend(values)
+    return {
+        "n": float(hist.n),
+        "mean": hist.mean(),
+        "min": hist.quantile(0.0),
+        "max": hist.quantile(1.0),
+        "p50": hist.quantile(0.5),
+        "p95": hist.quantile(0.95),
+    }
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Convenience one-shot quantile; returns None for empty input."""
+    if not values:
+        return None
+    hist = Histogram()
+    hist.extend(values)
+    return hist.quantile(q)

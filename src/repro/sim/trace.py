@@ -1,0 +1,78 @@
+"""Lightweight structured tracing for simulation runs.
+
+The tracer records ``(time, category, message, fields)`` tuples into a
+bounded ring buffer.  Tests assert on traces to verify protocol
+behaviour ("cub 2 forwarded viewer state for slot 7 twice") without
+instrumenting production code paths with test hooks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, NamedTuple, Optional, Set
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered by category.
+
+    Tracing defaults to disabled so the hot path pays one attribute
+    check per call site.  Enable everything with ``enable()`` or a
+    subset with ``enable("viewerstate", "deschedule")``.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.enabled = False
+        self._categories: Optional[Set[str]] = None  # None = all categories
+
+    def enable(self, *categories: str) -> None:
+        """Turn tracing on; restrict to ``categories`` if any are given."""
+        self.enabled = True
+        self._categories = set(categories) if categories else None
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self.records.append(TraceRecord(time, category, message, fields))
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All recorded entries of one category, in time order."""
+        return [record for record in self.records if record.category == category]
+
+    def matching(self, category: str, **fields: Any) -> List[TraceRecord]:
+        """Entries of ``category`` whose fields include every given key/value."""
+        out = []
+        for record in self.records:
+            if record.category != category:
+                continue
+            if all(record.fields.get(key) == value for key, value in fields.items()):
+                out.append(record)
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+NULL_TRACER = Tracer(capacity=1)
+"""A shared disabled tracer for components created without one."""
+
+
+def format_trace(records: Iterable[TraceRecord]) -> str:
+    """Human-readable rendering for debugging and example scripts."""
+    lines = []
+    for record in records:
+        fields = " ".join(f"{key}={value}" for key, value in record.fields.items())
+        lines.append(f"[{record.time:10.4f}] {record.category:14s} {record.message} {fields}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Striped data layout (paper §2.2).
+
+Every file is striped across every disk and every cub.  Disks are
+numbered in *cub-minor* order: disk 0 on cub 0, disk 1 on cub 1, ...,
+disk n on cub 0 again (for n cubs).  A file's first block lands on its
+chosen starting disk; successive blocks land on successive disks,
+wrapping at the highest-numbered disk.
+
+Consecutive disk numbers therefore live on consecutive cubs, which is
+what makes viewers (and mirror pieces) flow around the *ring of cubs*
+— the property the whole distributed schedule design leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Geometry of a Tiger system's striping."""
+
+    num_cubs: int
+    disks_per_cub: int
+
+    def __post_init__(self) -> None:
+        if self.num_cubs < 1:
+            raise ValueError("need at least one cub")
+        if self.disks_per_cub < 1:
+            raise ValueError("need at least one disk per cub")
+
+    @property
+    def num_disks(self) -> int:
+        return self.num_cubs * self.disks_per_cub
+
+    # ------------------------------------------------------------------
+    # Cub-minor disk numbering
+    # ------------------------------------------------------------------
+    def cub_of_disk(self, disk_id: int) -> int:
+        """The cub hosting ``disk_id`` (cub-minor order)."""
+        self._check_disk(disk_id)
+        return disk_id % self.num_cubs
+
+    def disks_of_cub(self, cub_id: int) -> Tuple[int, ...]:
+        """All disk ids hosted by ``cub_id``, ascending."""
+        self._check_cub(cub_id)
+        return tuple(
+            cub_id + stripe * self.num_cubs for stripe in range(self.disks_per_cub)
+        )
+
+    def local_index(self, disk_id: int) -> int:
+        """Position of ``disk_id`` within its cub's disk list."""
+        self._check_disk(disk_id)
+        return disk_id // self.num_cubs
+
+    # ------------------------------------------------------------------
+    # Block placement
+    # ------------------------------------------------------------------
+    def disk_of_block(self, start_disk: int, block_index: int) -> int:
+        """Disk holding the primary copy of a file's ``block_index``."""
+        self._check_disk(start_disk)
+        if block_index < 0:
+            raise ValueError("negative block index")
+        return (start_disk + block_index) % self.num_disks
+
+    def cub_of_block(self, start_disk: int, block_index: int) -> int:
+        return self.cub_of_disk(self.disk_of_block(start_disk, block_index))
+
+    def next_disk(self, disk_id: int, step: int = 1) -> int:
+        """The disk ``step`` places after ``disk_id`` in stripe order."""
+        self._check_disk(disk_id)
+        return (disk_id + step) % self.num_disks
+
+    def next_cub(self, cub_id: int, step: int = 1) -> int:
+        """The cub ``step`` places after ``cub_id`` around the ring."""
+        self._check_cub(cub_id)
+        return (cub_id + step) % self.num_cubs
+
+    def ring_distance(self, from_cub: int, to_cub: int) -> int:
+        """Forward hops from ``from_cub`` to ``to_cub`` around the ring."""
+        self._check_cub(from_cub)
+        self._check_cub(to_cub)
+        return (to_cub - from_cub) % self.num_cubs
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_disk(self, disk_id: int) -> None:
+        if not 0 <= disk_id < self.num_disks:
+            raise ValueError(f"disk {disk_id} out of range [0, {self.num_disks})")
+
+    def _check_cub(self, cub_id: int) -> None:
+        if not 0 <= cub_id < self.num_cubs:
+            raise ValueError(f"cub {cub_id} out of range [0, {self.num_cubs})")

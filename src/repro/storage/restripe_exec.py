@@ -1,0 +1,124 @@
+"""Event-driven restripe execution (§2.2's restriping software).
+
+:mod:`repro.storage.restripe` plans the moves and *estimates* the
+wall-clock; this module actually executes a plan inside the simulator:
+each source disk reads its outgoing blocks, each cub NIC ships them,
+each destination disk writes them, all concurrently with per-resource
+serialization.  The measured completion time validates the analytic
+estimate and demonstrates the §2.2 claim dynamically: growing the
+system does not slow the restripe, because every added cub brings its
+own disks and its own switch port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.stats import BusyMeter
+from repro.storage.layout import StripeLayout
+from repro.storage.restripe import BlockMove, RestripePlan
+
+
+@dataclass
+class RestripeResult:
+    """Outcome of one executed restripe."""
+
+    completion_time: float
+    blocks_moved: int
+    bytes_moved: int
+    per_disk_read_busy: Dict[int, float] = field(default_factory=dict)
+    per_disk_write_busy: Dict[int, float] = field(default_factory=dict)
+    per_cub_net_busy: Dict[int, float] = field(default_factory=dict)
+
+
+class RestripeExecutor:
+    """Executes a :class:`RestripePlan` against modelled resources.
+
+    Each block move is a three-stage pipeline — read at the source
+    disk, transfer through the source cub's NIC, write at the
+    destination disk — where every stage is a serial resource.  Stages
+    of different blocks overlap freely, which is where the parallel
+    speedup (and the size-independence) comes from.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: RestripePlan,
+        disk_read_rate: float,
+        disk_write_rate: float,
+        cub_network_rate: float,
+        per_block_overhead: float = 0.012,
+    ) -> None:
+        if min(disk_read_rate, disk_write_rate, cub_network_rate) <= 0:
+            raise ValueError("rates must be positive")
+        self.sim = sim
+        self.plan = plan
+        self.disk_read_rate = disk_read_rate
+        self.disk_write_rate = disk_write_rate
+        self.cub_network_rate = cub_network_rate
+        self.per_block_overhead = per_block_overhead
+        self._readers: Dict[int, BusyMeter] = {}
+        self._writers: Dict[int, BusyMeter] = {}
+        self._nics: Dict[int, BusyMeter] = {}
+        self.finished_at: Optional[float] = None
+
+    def _meter(self, table: Dict[int, BusyMeter], key: int) -> BusyMeter:
+        meter = table.get(key)
+        if meter is None:
+            meter = BusyMeter(self.sim.now)
+            table[key] = meter
+        return meter
+
+    def run(self) -> RestripeResult:
+        """Execute every move; returns when the last write lands."""
+        start = self.sim.now
+        last_done = start
+        for move in self.plan.moves:
+            read_time = (
+                move.size_bytes / self.disk_read_rate + self.per_block_overhead
+            )
+            net_time = move.size_bytes / self.cub_network_rate
+            write_time = (
+                move.size_bytes / self.disk_write_rate + self.per_block_overhead
+            )
+            src_cub = self.plan.old_layout.cub_of_disk(move.src_disk)
+
+            reader = self._meter(self._readers, move.src_disk)
+            read_start = max(self.sim.now, reader.busy_until)
+            reader.add_busy(self.sim.now, read_time)
+            read_done = read_start + read_time
+
+            nic = self._meter(self._nics, src_cub)
+            net_start = max(read_done, nic.busy_until)
+            nic.add_busy(net_start, net_time)
+            net_done = net_start + net_time
+
+            writer = self._meter(self._writers, move.dst_disk)
+            write_start = max(net_done, writer.busy_until)
+            writer.add_busy(write_start, write_time)
+            write_done = write_start + write_time
+
+            last_done = max(last_done, write_done)
+
+        self.finished_at = last_done
+        elapsed = last_done - start
+        return RestripeResult(
+            completion_time=elapsed,
+            blocks_moved=len(self.plan.moves),
+            bytes_moved=self.plan.total_bytes,
+            per_disk_read_busy={
+                disk: meter.busy_until - start
+                for disk, meter in self._readers.items()
+            },
+            per_disk_write_busy={
+                disk: meter.busy_until - start
+                for disk, meter in self._writers.items()
+            },
+            per_cub_net_busy={
+                cub: meter.busy_until - start
+                for cub, meter in self._nics.items()
+            },
+        )

@@ -1,0 +1,15 @@
+"""Workload drivers reproducing the paper's §5 experimental procedure."""
+
+from repro.workloads.generator import DEFAULT_STREAMS_PER_CLIENT, ContinuousWorkload
+from repro.workloads.ramp import RampDriver, RampResult
+from repro.workloads.startup import StartSample, StartupLatencyProbe, StartupResult
+
+__all__ = [
+    "ContinuousWorkload",
+    "DEFAULT_STREAMS_PER_CLIENT",
+    "RampDriver",
+    "RampResult",
+    "StartupLatencyProbe",
+    "StartupResult",
+    "StartSample",
+]

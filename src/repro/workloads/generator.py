@@ -1,0 +1,92 @@
+"""Continuous-viewing workload (paper §5 methodology).
+
+"The clients randomly selected a file, played it from beginning to end
+and repeated."  :class:`ContinuousWorkload` keeps a target number of
+streams alive: it starts streams spread across client machines and,
+whenever one reaches end-of-file, immediately starts another randomly
+chosen file from the same client.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.client import StreamMonitor, ViewerClient
+from repro.core.tiger import TigerSystem
+
+#: The paper's client machines each received 15-25 streams.
+DEFAULT_STREAMS_PER_CLIENT = 20
+
+
+class ContinuousWorkload:
+    """Maintains a target population of always-playing viewers."""
+
+    def __init__(
+        self,
+        system: TigerSystem,
+        streams_per_client: int = DEFAULT_STREAMS_PER_CLIENT,
+        rng_stream: str = "workload",
+    ) -> None:
+        self.system = system
+        self.streams_per_client = streams_per_client
+        self._rng = system.rngs.stream(rng_stream)
+        self._target = 0
+        self._next_client = 0
+        if not system.catalog.files():
+            raise ValueError("add content before building a workload")
+        self._file_ids = [entry.file_id for entry in system.catalog.files()]
+
+    # ------------------------------------------------------------------
+    def _ensure_clients(self, total_streams: int) -> None:
+        needed = max(1, math.ceil(total_streams / self.streams_per_client))
+        while len(self.system.clients) < needed:
+            client = self.system.add_client()
+            client.on_stream_finished = self._on_finished
+
+    def _pick_client(self) -> ViewerClient:
+        clients = self.system.clients
+        client = clients[self._next_client % len(clients)]
+        self._next_client += 1
+        return client
+
+    def _pick_file(self) -> int:
+        return self._rng.choice(self._file_ids)
+
+    # ------------------------------------------------------------------
+    def add_streams(self, count: int) -> List[int]:
+        """Start ``count`` new viewers; returns their instance ids."""
+        self._target += count
+        self._ensure_clients(self._target)
+        started = []
+        for _ in range(count):
+            client = self._pick_client()
+            started.append(client.start_stream(self._pick_file()))
+        return started
+
+    def _on_finished(self, monitor: StreamMonitor) -> None:
+        """EOF: replay a random file to hold the population constant."""
+        client_address = monitor.viewer_id.split("#", 1)[0]
+        for client in self.system.clients:
+            if client.address == client_address:
+                client.start_stream(self._pick_file())
+                return
+
+    # ------------------------------------------------------------------
+    @property
+    def target(self) -> int:
+        return self._target
+
+    def all_monitors(self) -> List[StreamMonitor]:
+        return [
+            monitor
+            for client in self.system.clients
+            for monitor in client.all_monitors()
+        ]
+
+    def startup_latencies(self) -> List[float]:
+        return [
+            monitor.startup_latency
+            for monitor in self.all_monitors()
+            if monitor.startup_latency is not None
+        ]

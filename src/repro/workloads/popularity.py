@@ -1,0 +1,110 @@
+"""Skewed file popularity (paper §2.2's motivation for striping).
+
+"Tiger uses this striping layout in order to handle imbalances in
+demand for particular files.  Because each file has blocks on every
+disk and every server, over the course of playing a file the load is
+distributed among all of the system components."
+
+Real video catalogs are Zipf-distributed; this module supplies a
+Zipf file selector and a skew-vs-balance measurement: however skewed
+the demand, per-component load stays flat — the property servers that
+place whole movies per machine must buy back with replicas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.tiger import TigerSystem
+from repro.workloads.generator import ContinuousWorkload
+
+
+class ZipfSelector:
+    """Draws file indices with P(rank k) proportional to 1/k^s."""
+
+    def __init__(self, num_files: int, exponent: float, rng: random.Random) -> None:
+        if num_files < 1:
+            raise ValueError("need at least one file")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.num_files = num_files
+        self.exponent = exponent
+        self._rng = rng
+        weights = [1.0 / (rank ** exponent) for rank in range(1, num_files + 1)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+
+    def draw(self) -> int:
+        point = self._rng.random()
+        # Linear scan is fine for catalog-sized N; bisect for big ones.
+        from bisect import bisect_left
+
+        return bisect_left(self._cdf, point)
+
+    def probability(self, rank: int) -> float:
+        """P(file at zero-based popularity rank ``rank``)."""
+        if not 0 <= rank < self.num_files:
+            raise ValueError("rank out of range")
+        previous = self._cdf[rank - 1] if rank else 0.0
+        return self._cdf[rank] - previous
+
+
+class ZipfWorkload(ContinuousWorkload):
+    """Continuous viewing with Zipf-distributed file choice."""
+
+    def __init__(
+        self,
+        system: TigerSystem,
+        exponent: float = 1.0,
+        streams_per_client: int = 20,
+    ) -> None:
+        super().__init__(system, streams_per_client, rng_stream="zipf-workload")
+        self._selector = ZipfSelector(
+            len(self._file_ids), exponent, self._rng
+        )
+
+    def _pick_file(self) -> int:
+        return self._file_ids[self._selector.draw()]
+
+
+@dataclass
+class SkewReport:
+    """How skewed the demand was vs how balanced the service stayed."""
+
+    plays_per_file: Dict[int, int]
+    disk_utilizations: List[float]
+
+    @property
+    def demand_skew(self) -> float:
+        """Max/mean plays across files (1.0 = uniform)."""
+        counts = list(self.plays_per_file.values())
+        mean = sum(counts) / len(counts) if counts else 0.0
+        return max(counts) / mean if mean else 0.0
+
+    @property
+    def service_skew(self) -> float:
+        """Max/mean disk utilization across all drives."""
+        mean = sum(self.disk_utilizations) / len(self.disk_utilizations)
+        return max(self.disk_utilizations) / mean if mean else 0.0
+
+
+def measure_skew(system: TigerSystem, workload: ContinuousWorkload) -> SkewReport:
+    """Snapshot demand distribution and per-disk load."""
+    plays: Dict[int, int] = {}
+    for monitor in workload.all_monitors():
+        plays[monitor.file_id] = plays.get(monitor.file_id, 0) + 1
+    for entry in system.catalog.files():
+        plays.setdefault(entry.file_id, 0)
+    utilizations = [
+        disk.utilization()
+        for cub in system.living_cubs()
+        for disk in cub.disks.values()
+    ]
+    return SkewReport(plays, utilizations)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the Tiger reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TigerSystem, paper_config, small_config
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def small_system() -> TigerSystem:
+    """A 4-cub system with content, ready to run."""
+    system = TigerSystem(small_config(), seed=7)
+    system.add_standard_content(num_files=6, duration_s=90)
+    return system
+
+
+@pytest.fixture
+def loaded_system(small_system: TigerSystem) -> TigerSystem:
+    """Small system with a client and a dozen playing streams."""
+    client = small_system.add_client()
+    for index in range(12):
+        client.start_stream(file_id=index % 6)
+    small_system.run_for(10.0)
+    return small_system
+
+
+def paper_system(**overrides) -> TigerSystem:
+    """Helper (not a fixture): the 14-cub paper configuration."""
+    system = TigerSystem(paper_config(**overrides), seed=11)
+    return system

@@ -1,0 +1,129 @@
+"""Content verification and VCR pause/resume."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.core.protocol import BlockData, block_pattern
+
+
+class TestBlockPattern:
+    def test_deterministic(self):
+        assert block_pattern(3, 17) == block_pattern(3, 17)
+
+    def test_distinguishes_blocks(self):
+        patterns = {block_pattern(f, b) for f in range(8) for b in range(200)}
+        assert len(patterns) == 8 * 200  # no collisions in a catalog
+
+    def test_nonzero(self):
+        assert block_pattern(0, 1) != 0
+
+
+class TestContentVerification:
+    def test_clean_playback_has_zero_corrupt(self, small_system):
+        client = small_system.add_client()
+        client.start_stream(file_id=0)
+        small_system.run_for(20.0)
+        assert small_system.total_client_corrupt() == 0
+
+    def test_failed_mode_content_still_correct(self):
+        """Mirror-reconstructed blocks carry the right content too."""
+        system = TigerSystem(small_config(), seed=64)
+        system.add_standard_content(num_files=4, duration_s=240)
+        client = system.add_client()
+        for index in range(8):
+            client.start_stream(file_id=index % 4)
+        system.run_for(10.0)
+        system.fail_cub(1)
+        system.run_for(30.0)
+        assert system.total_client_corrupt() == 0
+        assert system.total_mirror_pieces_sent() > 0
+
+    def test_cross_wired_block_detected(self, small_system):
+        """A block for the wrong position is rejected and counted."""
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(8.0)
+        monitor = client.streams[instance]
+        received_before = monitor.blocks_received
+        bogus = BlockData(
+            viewer_id=monitor.viewer_id,
+            instance=instance,
+            file_id=0,
+            block_index=999,  # wrong position
+            play_seqno=monitor.next_seqno,
+            pattern=block_pattern(0, 999),
+        )
+        monitor.on_block(bogus, small_system.sim.now)
+        assert monitor.blocks_corrupt == 1
+        assert monitor.blocks_received == received_before
+
+    def test_wrong_pattern_detected(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(8.0)
+        monitor = client.streams[instance]
+        bogus = BlockData(
+            viewer_id=monitor.viewer_id,
+            instance=instance,
+            file_id=0,
+            block_index=monitor.first_block + monitor.next_seqno,
+            play_seqno=monitor.next_seqno,
+            pattern=12345,  # garbage content
+        )
+        monitor.on_block(bogus, small_system.sim.now)
+        assert monitor.blocks_corrupt == 1
+
+
+class TestVcrPauseResume:
+    def test_pause_frees_slot_and_bookmarks(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(12.0)
+        watched = client.streams[instance].blocks_received
+        resume_block = client.pause_stream(instance)
+        small_system.run_for(5.0)
+        assert small_system.oracle.num_occupied == 0
+        assert resume_block is not None
+        assert resume_block >= watched  # position at or past what played
+
+    def test_resume_continues_from_bookmark(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(12.0)
+        resume_block = client.pause_stream(instance)
+        small_system.run_for(10.0)  # viewer gets coffee
+        resumed = client.resume_stream(instance)
+        small_system.run_for(20.0)
+        monitor = client.streams[resumed]
+        assert monitor.first_block == resume_block
+        assert monitor.blocks_received > 10
+        assert monitor.blocks_corrupt == 0
+        small_system.assert_invariants()
+
+    def test_pause_of_unknown_instance_is_none(self, small_system):
+        client = small_system.add_client()
+        assert client.pause_stream(9999) is None
+        assert client.resume_stream(9999) is None
+
+    def test_double_pause_is_harmless(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(10.0)
+        first = client.pause_stream(instance)
+        second = client.pause_stream(instance)
+        assert first is not None
+        assert second is None  # already stopped
+
+    def test_resume_to_end_of_file(self):
+        system = TigerSystem(small_config(), seed=65)
+        system.add_standard_content(num_files=2, duration_s=40)
+        client = system.add_client()
+        instance = client.start_stream(file_id=0)
+        system.run_for(15.0)
+        client.pause_stream(instance)
+        system.run_for(3.0)
+        resumed = client.resume_stream(instance)
+        system.run_for(40.0)
+        monitor = client.streams[resumed]
+        assert monitor.finished
+        assert monitor.blocks_missed == 0

@@ -1,0 +1,129 @@
+"""Tests for controller fault tolerance (the paper's stated future work).
+
+§2.3: the distributed schedule already removed the controller's main
+job; "making its remaining functions fault tolerant is a simple
+exercise".  These tests exercise that exercise: replication, takeover,
+client retry, and the property the paper promises — running streams
+never depend on the controller at all.
+"""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
+
+
+def build(seed=91):
+    system = TigerSystem(small_config(), seed=seed)
+    system.add_standard_content(num_files=5, duration_s=240)
+    system.enable_controller_backup(takeover_timeout=3.0)
+    return system
+
+
+class TestReplication:
+    def test_backup_registered(self):
+        system = build()
+        assert system.backup_controller.address == BACKUP_CONTROLLER_ADDRESS
+        assert not system.backup_controller.active
+
+    def test_play_records_replicate(self):
+        system = build()
+        client = system.add_client()
+        instance = client.start_stream(file_id=0)
+        system.run_for(8.0)
+        replica = system.backup_controller.plays.get(instance)
+        assert replica is not None
+        assert replica.slot is not None  # commit reported to both
+
+    def test_stop_replicates(self):
+        system = build()
+        client = system.add_client()
+        instance = client.start_stream(file_id=0)
+        system.run_for(8.0)
+        client.stop_stream(instance)
+        system.run_for(3.0)
+        replica = system.backup_controller.plays[instance]
+        assert replica.stop_requested
+
+    def test_backup_stays_passive_while_primary_alive(self):
+        system = build()
+        system.run_for(20.0)
+        assert not system.backup_controller.active
+        assert system.backup_controller.took_over_at is None
+
+
+class TestTakeover:
+    def test_running_streams_unaffected_by_controller_death(self):
+        """The headline property: the schedule is distributed, so data
+        keeps flowing with NO controller at all."""
+        system = TigerSystem(small_config(), seed=92)
+        system.add_standard_content(num_files=5, duration_s=240)
+        client = system.add_client()
+        for index in range(10):
+            client.start_stream(file_id=index % 5)
+        system.run_for(10.0)
+        system.fail_controller()
+        received_before = system.total_client_received()
+        system.run_for(20.0)
+        system.finalize_clients()
+        assert system.total_client_received() > received_before + 150
+        assert system.total_client_missed() == 0
+
+    def test_backup_declares_takeover(self):
+        system = build()
+        system.run_for(5.0)
+        system.fail_controller()
+        system.run_for(6.0)
+        assert system.backup_controller.active
+        assert system.backup_controller.took_over_at is not None
+
+    def test_new_starts_served_by_backup_after_takeover(self):
+        system = build()
+        client = system.add_client()
+        system.run_for(5.0)
+        system.fail_controller()
+        system.run_for(6.0)  # takeover
+        instance = client.start_stream(file_id=1)
+        system.run_for(15.0)
+        monitor = client.streams[instance]
+        assert monitor.startup_latency is not None
+        assert monitor.blocks_received > 5
+
+    def test_start_issued_during_outage_retries_to_backup(self):
+        """A request sent into the dead primary is retried and served."""
+        system = build()
+        client = system.add_client()
+        system.run_for(5.0)
+        system.fail_controller()
+        # Request immediately — before the backup has even taken over.
+        instance = client.start_stream(file_id=2)
+        system.run_for(20.0)
+        monitor = client.streams[instance]
+        assert monitor.blocks_received > 3
+
+    def test_stop_works_after_takeover(self):
+        system = build()
+        client = system.add_client()
+        instance = client.start_stream(file_id=0)
+        system.run_for(8.0)
+        system.fail_controller()
+        system.run_for(6.0)
+        client.stop_stream(instance)
+        system.run_for(8.0)
+        assert system.oracle.num_occupied == 0
+
+    def test_retry_does_not_double_schedule(self):
+        """The client's retry may race the primary's death: the cubs'
+        duplicate suppression must keep one play instance = one slot."""
+        system = build()
+        client = system.add_client()
+        system.run_for(5.0)
+        # Fail the primary just after it routed the request: the ack is
+        # lost, the client retries to the backup, and both routings hit
+        # the same cubs.
+        instance = client.start_stream(file_id=0)
+        system.sim.call_after(0.0005, system.fail_controller)
+        system.run_for(25.0)
+        assert system.oracle.num_occupied == 1
+        assert client.streams[instance].blocks_received > 5
+        system.assert_invariants()

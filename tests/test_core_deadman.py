@@ -1,0 +1,83 @@
+"""Tests for the deadman failure detector (§2.3)."""
+
+import pytest
+
+from repro.core.deadman import DeadmanMonitor
+
+
+@pytest.fixture
+def monitor():
+    return DeadmanMonitor(cub_id=5, num_cubs=14, timeout=6.0)
+
+
+class TestDetection:
+    def test_watches_two_neighbours_each_side(self, monitor):
+        assert set(monitor.watched) == {6, 4, 7, 3}
+
+    def test_fresh_heartbeats_keep_alive(self, monitor):
+        monitor.note_heartbeat(4, now=1.0)
+        assert monitor.check(now=5.0) == ()
+        assert not monitor.believes_failed(4)
+
+    def test_silence_declares_failure(self, monitor):
+        monitor.note_heartbeat(4, now=1.0)
+        declared = monitor.check(now=8.0)
+        assert 4 in declared
+
+    def test_declaration_fires_callbacks_once(self, monitor):
+        calls = []
+        monitor.on_declare_failed.append(calls.append)
+        monitor.note_heartbeat(4, now=1.0)
+        monitor.check(now=8.0)
+        monitor.check(now=9.0)
+        assert calls.count(4) == 1
+
+    def test_heartbeat_resurrects(self, monitor):
+        recovered = []
+        monitor.on_declare_recovered.append(recovered.append)
+        monitor.note_heartbeat(4, now=1.0)
+        monitor.check(now=8.0)
+        assert monitor.believes_failed(4)
+        monitor.note_heartbeat(4, now=9.0)
+        assert not monitor.believes_failed(4)
+        assert recovered == [4]
+
+    def test_non_neighbour_heartbeats_ignored(self, monitor):
+        monitor.note_heartbeat(10, now=1.0)  # not watched
+        assert 10 not in monitor.watched
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DeadmanMonitor(0, 14, timeout=0.0)
+        with pytest.raises(ValueError):
+            DeadmanMonitor(0, 14, timeout=1.0, watch_distance=0)
+
+
+class TestRouting:
+    def test_living_successors_normal(self, monitor):
+        assert monitor.living_successors(2) == (6, 7)
+
+    def test_living_successors_skip_dead(self, monitor):
+        monitor.note_heartbeat(6, now=0.0)
+        for alive in (4, 7, 3):
+            monitor.note_heartbeat(alive, now=9.0)
+        monitor.check(now=10.0)  # only 6 has gone silent
+        assert monitor.believes_failed(6)
+        successors = monitor.living_successors(2)
+        assert 6 not in successors
+        assert successors == (7, 8)
+
+    def test_next_living_cub(self, monitor):
+        assert monitor.next_living_cub(5) == 6
+
+    def test_next_living_cub_skips_believed_failed(self, monitor):
+        monitor.check(now=10.0)  # everyone watched is silent -> dead
+        assert monitor.next_living_cub(5) == 8  # 6,7 dead; 8 unmonitored
+
+    def test_next_living_with_extra_failed(self, monitor):
+        assert monitor.next_living_cub(5, extra_failed={6, 7, 8}) == 9
+
+    def test_small_ring(self):
+        monitor = DeadmanMonitor(cub_id=0, num_cubs=3, timeout=1.0)
+        assert set(monitor.watched) == {1, 2}
+        assert monitor.living_successors(2) == (1, 2)

@@ -1,0 +1,133 @@
+"""Tests for the multi-zone geometry and seek-curve refinements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.multizone import (
+    MultiZoneGeometry,
+    Zone,
+    expected_random_seek,
+    linear_taper_zones,
+    seek_time,
+)
+from repro.disk.zones import ZONE_INNER, ZONE_OUTER
+
+
+class TestZoneValidation:
+    def test_zone_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Zone(0.5, 0.5, 1e6)
+
+    def test_zones_must_tile(self):
+        with pytest.raises(ValueError):
+            MultiZoneGeometry([Zone(0.0, 0.4, 2e6), Zone(0.5, 1.0, 1e6)])
+
+    def test_zones_must_cover_drive(self):
+        with pytest.raises(ValueError):
+            MultiZoneGeometry([Zone(0.0, 0.9, 2e6)])
+
+    def test_rates_must_not_increase_inward(self):
+        with pytest.raises(ValueError):
+            MultiZoneGeometry([Zone(0.0, 0.5, 1e6), Zone(0.5, 1.0, 2e6)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiZoneGeometry([])
+
+
+class TestTransfer:
+    @pytest.fixture
+    def drive(self):
+        return MultiZoneGeometry(
+            [Zone(0.0, 0.5, 2e6), Zone(0.5, 1.0, 1e6)]
+        )
+
+    def test_rate_at_positions(self, drive):
+        assert drive.rate_at(0.1) == 2e6
+        assert drive.rate_at(0.9) == 1e6
+        assert drive.rate_at(1.0) == 1e6
+
+    def test_transfer_within_zone(self, drive):
+        # 1 MB drive: 0.1 MB read in the fast zone.
+        assert drive.transfer_time(0.0, 100_000, 1e6) == pytest.approx(0.05)
+
+    def test_transfer_across_boundary(self, drive):
+        # Read 0.2 MB starting at 0.45 on a 1 MB drive: 50 KB fast,
+        # 150 KB slow.
+        expected = 50_000 / 2e6 + 150_000 / 1e6
+        assert drive.transfer_time(0.45, 200_000, 1e6) == pytest.approx(expected)
+
+    def test_read_past_end_rejected(self, drive):
+        with pytest.raises(ValueError):
+            drive.transfer_time(0.95, 100_000, 1e6)
+
+    def test_mean_rate_weighted(self, drive):
+        assert drive.mean_rate() == pytest.approx(1.5e6)
+        assert drive.mean_rate(0.0, 0.5) == pytest.approx(2e6)
+
+
+class TestTwoZoneReduction:
+    def test_reduction_preserves_half_read_times(self):
+        drive = linear_taper_zones(16, 5.2e6, 3.6e6)
+        reduced = drive.to_two_zone()
+        capacity = 2.5e9
+        half_bytes = int(capacity / 2)
+        # Total time to stream each half must match.
+        multi_outer = drive.transfer_time(0.0, half_bytes, capacity)
+        multi_inner = drive.transfer_time(0.5, half_bytes, capacity)
+        assert reduced.transfer_time(ZONE_OUTER, half_bytes) == pytest.approx(
+            multi_outer, rel=1e-6
+        )
+        assert reduced.transfer_time(ZONE_INNER, half_bytes) == pytest.approx(
+            multi_inner, rel=1e-6
+        )
+
+    def test_reduction_orders_halves(self):
+        reduced = linear_taper_zones(8, 5e6, 3e6).to_two_zone()
+        assert reduced.outer_rate > reduced.inner_rate
+
+    @given(st.integers(1, 24), st.floats(2e6, 9e6), st.floats(1e6, 2e6))
+    @settings(max_examples=40, deadline=None)
+    def test_taper_always_valid(self, zones, outer, inner):
+        drive = linear_taper_zones(zones, outer, inner)
+        assert drive.rate_at(0.0) >= drive.rate_at(1.0) - 1e-6
+        assert inner - 1e-6 <= drive.mean_rate() <= outer + 1e-6
+
+
+class TestSeekCurve:
+    def test_zero_distance_zero_time(self):
+        assert seek_time(0.0) == 0.0
+
+    def test_monotone_in_distance(self):
+        samples = [seek_time(d / 100) for d in range(1, 101)]
+        assert samples == sorted(samples)
+
+    def test_endpoints(self):
+        assert seek_time(1.0) == pytest.approx(0.016)
+        assert seek_time(1e-9) >= 0.0015
+
+    def test_short_seeks_concave(self):
+        """Square-root regime: doubling a short distance less than
+        doubles the added time."""
+        base = seek_time(0.05) - 0.0015
+        doubled = seek_time(0.10) - 0.0015
+        assert doubled < 2 * base
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            seek_time(1.5)
+        with pytest.raises(ValueError):
+            seek_time(0.5, min_seek=0.02, max_seek=0.01)
+
+    def test_expected_random_seek_in_range(self):
+        mean = expected_random_seek()
+        assert 0.0015 < mean < 0.016
+        # Mean stroke is 1/3; the curve's concavity puts the mean seek
+        # above the linear interpolation... below max, above min third.
+        assert mean > 0.0015 + (0.016 - 0.0015) * 0.2
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_seek_bounded(self, distance):
+        value = seek_time(distance)
+        assert 0.0 <= value <= 0.016 + 1e-12

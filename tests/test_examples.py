@@ -1,0 +1,47 @@
+"""The examples must at least compile and the quickstart must run."""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "failover_drill.py",
+    "hot_movie_premiere.py",
+    "multibitrate_schedule.py",
+    "capacity_planning.py",
+    "controller_failover.py",
+    "mixed_bitrate_service.py",
+    "schedule_gallery.py",
+]
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_compiles(script):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, script), doraise=True)
+
+
+def test_quickstart_runs_clean():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Invariants hold" in result.stdout
+
+
+def test_capacity_planning_runs_clean():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "capacity_planning.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "central ctrl" in result.stdout

@@ -1,0 +1,93 @@
+"""Unit-level tests for the backup controller's replica machinery."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.core.failover import BackupController
+from repro.core.protocol import ReplicaUpdate
+
+
+def build_backup():
+    system = TigerSystem(small_config(), seed=93)
+    system.add_standard_content(num_files=2, duration_s=60)
+    backup = system.enable_controller_backup(takeover_timeout=3.0)
+    return system, backup
+
+
+class TestReplicaUpdates:
+    def test_start_creates_record(self):
+        system, backup = build_backup()
+        backup.apply_replica_update(
+            ReplicaUpdate("start", "client:0#5", 5, file_id=1, first_block=0)
+        )
+        assert backup.plays[5].file_id == 1
+
+    def test_start_is_idempotent(self):
+        system, backup = build_backup()
+        update = ReplicaUpdate("start", "client:0#5", 5, file_id=1)
+        backup.apply_replica_update(update)
+        backup.apply_replica_update(update)
+        assert len(backup.plays) == 1
+
+    def test_committed_sets_slot(self):
+        system, backup = build_backup()
+        backup.apply_replica_update(ReplicaUpdate("start", "v", 5, file_id=0))
+        backup.apply_replica_update(ReplicaUpdate("committed", "v", 5, slot=7))
+        assert backup.plays[5].slot == 7
+
+    def test_updates_for_unknown_instance_ignored(self):
+        system, backup = build_backup()
+        backup.apply_replica_update(ReplicaUpdate("committed", "v", 99, slot=7))
+        assert 99 not in backup.plays
+
+    def test_stopped_and_ended(self):
+        system, backup = build_backup()
+        backup.apply_replica_update(ReplicaUpdate("start", "v", 5, file_id=0))
+        backup.apply_replica_update(ReplicaUpdate("stopped", "v", 5))
+        assert backup.plays[5].stop_requested
+        backup.apply_replica_update(ReplicaUpdate("ended", "v", 5))
+        assert backup.plays[5].ended
+
+    def test_unknown_kind_raises(self):
+        system, backup = build_backup()
+        backup.apply_replica_update(ReplicaUpdate("start", "v", 5, file_id=0))
+        with pytest.raises(ValueError):
+            backup.apply_replica_update(ReplicaUpdate("exploded", "v", 5))
+
+
+class TestTakeoverPolicy:
+    def test_heartbeats_defer_takeover(self):
+        system, backup = build_backup()
+        system.run_for(20.0)  # primary alive and beaconing
+        assert not backup.active
+
+    def test_backup_does_not_yield_leadership_back(self):
+        """Once active, a resurrected primary does not demote the
+        backup (simplest safe policy — no dueling controllers)."""
+        system, backup = build_backup()
+        system.run_for(5.0)
+        system.fail_controller()
+        system.run_for(6.0)
+        assert backup.active
+        system.controller.recover()
+        system.run_for(10.0)
+        assert backup.active
+
+    def test_backup_is_inert_for_client_traffic_while_passive(self):
+        system, backup = build_backup()
+        client = system.add_client()
+        # Force a start directly at the passive backup.
+        from repro.core.protocol import ClientStart
+        from repro.net.message import REQUEST_BYTES, Message
+
+        system.network.send(
+            Message(
+                client.address,
+                backup.address,
+                ClientStart(f"{client.address}#777", 777, 0),
+                REQUEST_BYTES,
+            )
+        )
+        system.run_for(5.0)
+        assert backup.starts_routed.count == 0
+        assert system.oracle.num_occupied == 0

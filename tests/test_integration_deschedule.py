@@ -1,0 +1,101 @@
+"""Integration tests for stop-play / deschedule (§4.1.2)."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+
+
+class TestStopPlaying:
+    def test_stop_mid_play_halts_delivery(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(10.0)
+        received_before = client.streams[instance].blocks_received
+        client.stop_stream(instance)
+        small_system.run_for(15.0)
+        received_after = client.streams[instance].blocks_received
+        # At most a couple of in-flight blocks after the stop.
+        assert received_after - received_before <= 3
+
+    def test_stop_frees_slot_in_oracle(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(8.0)
+        assert small_system.oracle.num_occupied == 1
+        client.stop_stream(instance)
+        small_system.run_for(5.0)
+        assert small_system.oracle.num_occupied == 0
+
+    def test_freed_slot_reusable(self, small_system):
+        client = small_system.add_client()
+        capacity = small_system.config.num_slots
+        instances = [
+            client.start_stream(file_id=index % 6) for index in range(capacity)
+        ]
+        small_system.run_for(15.0)
+        assert small_system.oracle.num_occupied == capacity
+        client.stop_stream(instances[0])
+        small_system.run_for(5.0)
+        newcomer = client.start_stream(file_id=1)
+        small_system.run_for(15.0)
+        assert client.streams[newcomer].startup_latency is not None
+        small_system.assert_invariants()
+
+    def test_stop_before_scheduled_cancels_queue(self, small_system):
+        """Stopping a viewer still waiting in a cub queue withdraws it."""
+        client = small_system.add_client()
+        capacity = small_system.config.num_slots
+        for index in range(capacity):
+            client.start_stream(file_id=index % 6)
+        small_system.run_for(12.0)
+        waiting = client.start_stream(file_id=0)  # queues: schedule full
+        small_system.run_for(1.0)
+        client.stop_stream(waiting)
+        small_system.run_for(5.0)
+        assert sum(cub.queued_start_requests() for cub in small_system.cubs) == 0
+        assert client.streams[waiting].blocks_received == 0
+
+    def test_stop_is_idempotent(self, small_system):
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(8.0)
+        client.stop_stream(instance)
+        client.stop_stream(instance)
+        small_system.run_for(5.0)
+        assert small_system.oracle.num_occupied == 0
+        small_system.assert_invariants()
+
+    def test_deschedule_does_not_kill_restarted_play(self, small_system):
+        """A new instance of the same viewer in the same slot must not
+        be removed by the old instance's deschedule — the 'instance'
+        semantics of §4.1.2."""
+        client = small_system.add_client()
+        first = client.start_stream(file_id=0)
+        small_system.run_for(8.0)
+        client.stop_stream(first)
+        second = client.start_stream(file_id=1)
+        small_system.run_for(20.0)
+        monitor = client.streams[second]
+        assert monitor.blocks_received >= 10
+        assert monitor.blocks_missed == 0
+
+    def test_tombstones_do_not_leak(self, small_system):
+        client = small_system.add_client()
+        for round_index in range(6):
+            instance = client.start_stream(file_id=round_index % 6)
+            small_system.run_for(4.0)
+            client.stop_stream(instance)
+        small_system.run_for(30.0)
+        for cub in small_system.cubs:
+            assert cub.view.size() < 120
+
+    def test_server_stops_spending_resources(self, small_system):
+        """After a deschedule propagates, cubs stop reading/sending."""
+        client = small_system.add_client()
+        instance = client.start_stream(file_id=0)
+        small_system.run_for(10.0)
+        client.stop_stream(instance)
+        small_system.run_for(6.0)
+        sent_at_stop = small_system.total_blocks_sent()
+        small_system.run_for(20.0)
+        assert small_system.total_blocks_sent() == sent_at_stop

@@ -1,0 +1,190 @@
+"""Integration tests for fault tolerance (§2.3, §4.1.1)."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+
+
+def build_loaded(seed=9, streams=12, duration=240.0):
+    system = TigerSystem(small_config(), seed=seed)
+    system.add_standard_content(num_files=6, duration_s=duration)
+    client = system.add_client()
+    for index in range(streams):
+        client.start_stream(file_id=index % 6)
+    system.run_for(15.0)
+    return system, client
+
+
+class TestCubFailure:
+    def test_streams_continue_via_mirrors(self):
+        system, client = build_loaded()
+        baseline_missed = system.total_client_missed()
+        system.fail_cub(1)
+        system.run_for(40.0)
+        system.finalize_clients()
+        # Mirror pieces flow and streams keep advancing.
+        assert system.total_mirror_pieces_sent() > 0
+        for monitor in client.all_monitors():
+            assert monitor.blocks_received > 30
+
+    def test_losses_confined_to_detection_window(self):
+        """After the deadman fires, mirror coverage stops the bleeding;
+        the §5 reconfiguration measurement found an ~8 s loss window."""
+        system, client = build_loaded()
+        failure_time = system.sim.now
+        system.fail_cub(1)
+        system.run_for(60.0)
+        system.finalize_clients()
+        loss_times = sorted(
+            when
+            for monitor in client.all_monitors()
+            for when in monitor.loss_times
+        )
+        assert loss_times, "a real failure loses some blocks"
+        window = loss_times[-1] - loss_times[0]
+        timeout = system.config.deadman_timeout
+        assert window < timeout + 4.0
+        assert loss_times[-1] < failure_time + timeout + 6.0
+
+    def test_no_losses_after_coverage_established(self):
+        system, client = build_loaded()
+        system.fail_cub(1)
+        system.run_for(20.0)  # detection + settling
+        before = system.total_client_missed()
+        counted = {
+            monitor.instance: monitor.blocks_missed
+            for monitor in client.all_monitors()
+        }
+        system.run_for(30.0)
+        system.finalize_clients()
+        for monitor in client.all_monitors():
+            assert monitor.blocks_missed == counted.get(monitor.instance, 0)
+
+    def test_mirror_pieces_spread_over_covering_cubs(self):
+        system, client = build_loaded()
+        system.fail_cub(1)
+        system.run_for(40.0)
+        senders = [
+            cub.cub_id
+            for cub in system.cubs
+            if cub.mirror_pieces_sent.count > 0
+        ]
+        expected = set(system.mirror.covering_cubs(1))
+        assert set(senders) <= expected | {1}
+        assert len(senders) >= 2
+
+    def test_control_traffic_roughly_doubles_at_bridge(self):
+        """§5: 'the control traffic in failed mode is roughly double
+        that in non-failed mode' for a mirroring cub."""
+        system, client = build_loaded(streams=16)
+        bridge = system.cubs[2]  # successor of the cub we'll fail
+        system.run_for(10.0)
+        system.network.control_bytes_from[bridge.address].snapshot(system.sim.now)
+        system.run_for(10.0)
+        healthy_rate = system.network.control_bytes_from[bridge.address].snapshot(
+            system.sim.now
+        )
+        system.fail_cub(1)
+        system.run_for(20.0)  # past detection
+        system.network.control_bytes_from[bridge.address].snapshot(system.sim.now)
+        system.run_for(10.0)
+        failed_rate = system.network.control_bytes_from[bridge.address].snapshot(
+            system.sim.now
+        )
+        # Small config has decluster 2, so the bridge forwards only
+        # one extra mirror state per passing chain (~+25-50%); the
+        # paper's ~2x is measured at decluster 4 (see the Fig 9 bench).
+        assert failed_rate > 1.15 * healthy_rate
+        assert failed_rate < 4.0 * healthy_rate
+
+    def test_new_starts_work_during_failure(self):
+        system, client = build_loaded()
+        system.fail_cub(1)
+        system.run_for(12.0)  # let the deadman fire
+        newcomer = client.start_stream(file_id=3)
+        system.run_for(20.0)
+        monitor = client.streams[newcomer]
+        assert monitor.blocks_received > 5
+
+    def test_start_targeted_at_dead_cub_covered_by_successor(self):
+        """§4.1.3: the successor holds a redundant copy of the start
+        request and acts on it when the primary target is dead."""
+        system = TigerSystem(small_config(), seed=21)
+        system.add_standard_content(num_files=6, duration_s=240)
+        client = system.add_client()
+        system.run_for(10.0)
+        system.fail_cub(1)
+        system.run_for(10.0)  # detection
+        # File 1 starts on disk 1, which lives on dead cub 1.
+        instance = client.start_stream(file_id=1)
+        system.run_for(25.0)
+        monitor = client.streams[instance]
+        assert monitor.blocks_received > 5
+
+    def test_recovered_cub_rejoins(self):
+        system, client = build_loaded()
+        system.fail_cub(1)
+        system.run_for(30.0)
+        system.recover_cub(1)
+        system.run_for(30.0)
+        # The recovered cub serves blocks again.
+        sent_before = system.cubs[1].blocks_sent.count
+        system.run_for(20.0)
+        assert system.cubs[1].blocks_sent.count > sent_before
+        system.finalize_clients()
+        system.assert_invariants()
+
+
+class TestDiskFailure:
+    def test_single_disk_covered_without_deadman(self):
+        """A live cub detects its own disk failure instantly and takes
+        the mirror decision itself — losses should be minimal."""
+        system, client = build_loaded()
+        before = system.total_client_missed()
+        system.fail_disk(1)  # one disk on cub 1
+        system.run_for(40.0)
+        system.finalize_clients()
+        assert system.total_mirror_pieces_sent() > 0
+        missed = system.total_client_missed() - before
+        assert missed <= 4  # at most the blocks already past their read
+
+    def test_other_disks_on_cub_still_serve(self):
+        system, client = build_loaded()
+        system.fail_disk(1)
+        sent_before = system.cubs[1].blocks_sent.count
+        system.run_for(20.0)
+        assert system.cubs[1].blocks_sent.count > sent_before
+
+
+class TestSecondFailures:
+    def test_adjacent_double_failure_loses_some_data_but_not_service(self):
+        """§2.3: two consecutive failed cubs lose the overlapping mirror
+        pieces, but Tiger 'will attempt to continue to send streams'."""
+        system, client = build_loaded(duration=300.0)
+        system.fail_cub(1)
+        system.run_for(20.0)
+        system.fail_cub(2)
+        system.run_for(40.0)
+        system.finalize_clients()
+        lost_pieces = sum(
+            cub.pieces_lost_to_second_failure.count for cub in system.cubs
+        )
+        assert lost_pieces > 0
+        # Streams still make progress.
+        for monitor in client.all_monitors():
+            assert monitor.blocks_received > 40
+
+    def test_distant_double_failure_no_data_loss(self):
+        system, client = build_loaded(duration=300.0)
+        system.fail_cub(0)
+        system.run_for(20.0)
+        system.fail_cub(2)  # decluster=2 but cubs 0 and 2 share no pieces?
+        # In a 4-cub ring with decluster 2, cub 0's pieces live on cubs
+        # 1 and 2 — so this IS a vulnerable pair; check the predicate
+        # agrees with runtime behaviour instead.
+        vulnerable = set(system.mirror.second_failure_vulnerable_cubs(0))
+        system.run_for(40.0)
+        lost_pieces = sum(
+            cub.pieces_lost_to_second_failure.count for cub in system.cubs
+        )
+        assert (lost_pieces > 0) == (2 in vulnerable)

@@ -1,0 +1,208 @@
+"""Tests for the switched-network substrate."""
+
+import pytest
+
+from repro.net.message import KIND_DATA, Message
+from repro.net.nic import Nic
+from repro.net.node import NetworkNode
+from repro.net.switch import SwitchedNetwork
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class Sink(NetworkNode):
+    """Test node collecting (payload, arrival_time) pairs."""
+
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append((message.payload, self.sim.now))
+
+
+def make_net(sim, rngs, jitter=0.0, latency=0.001):
+    return SwitchedNetwork(sim, rngs, base_latency=latency, latency_jitter=jitter)
+
+
+@pytest.fixture
+def net_pair(sim, rngs):
+    network = make_net(sim, rngs)
+    a = Sink(sim, "a")
+    b = Sink(sim, "b")
+    network.register(a, 100e6)
+    network.register(b, 100e6)
+    return network, a, b
+
+
+class TestMessage:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", None, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", None, 10, kind="weird")
+
+    def test_ids_are_unique(self):
+        first = Message("a", "b", None, 10)
+        second = Message("a", "b", None, 10)
+        assert first.msg_id != second.msg_id
+
+
+class TestNic:
+    def test_serialization_delay(self):
+        nic = Nic(8e6)  # 1 MB/s
+        assert nic.serialization_delay(1_000_000) == pytest.approx(1.0)
+
+    def test_fifo_queueing(self):
+        nic = Nic(8e6)
+        first_done = nic.enqueue(0.0, 1_000_000)
+        second_done = nic.enqueue(0.0, 1_000_000)
+        assert first_done == pytest.approx(1.0)
+        assert second_done == pytest.approx(2.0)
+
+    def test_utilization(self):
+        nic = Nic(8e6)
+        nic.enqueue(0.0, 500_000)
+        assert nic.utilization(1.0) == pytest.approx(0.5)
+
+    def test_queue_delay(self):
+        nic = Nic(8e6)
+        nic.enqueue(0.0, 1_000_000)
+        assert nic.queue_delay(0.5) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            Nic(0.0)
+
+
+class TestDelivery:
+    def test_basic_delivery(self, sim, net_pair):
+        network, a, b = net_pair
+        network.send(Message("a", "b", "hello", 100))
+        sim.run()
+        assert b.received[0][0] == "hello"
+
+    def test_latency_applied(self, sim, net_pair):
+        network, a, b = net_pair
+        network.send(Message("a", "b", "x", 100))
+        sim.run()
+        _, arrival = b.received[0]
+        assert arrival >= 0.001
+
+    def test_fifo_per_flow(self, sim, rngs):
+        """Even with latency jitter, one flow delivers in order (TCP)."""
+        network = make_net(sim, rngs, jitter=0.01)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        network.register(a, 100e6)
+        network.register(b, 100e6)
+        for index in range(50):
+            network.send(Message("a", "b", index, 100))
+        sim.run()
+        payloads = [payload for payload, _ in b.received]
+        assert payloads == list(range(50))
+
+    def test_unknown_destination_raises(self, sim, net_pair):
+        network, a, b = net_pair
+        with pytest.raises(KeyError):
+            network.send(Message("a", "nope", "x", 10))
+
+    def test_unknown_source_raises(self, sim, net_pair):
+        network, a, b = net_pair
+        with pytest.raises(KeyError):
+            network.send(Message("nope", "b", "x", 10))
+
+    def test_duplicate_registration_rejected(self, sim, net_pair):
+        network, a, b = net_pair
+        with pytest.raises(ValueError):
+            network.register(Sink(sim, "a"), 1e6)
+
+    def test_delivery_hook_fires(self, sim, net_pair):
+        network, a, b = net_pair
+        seen = []
+        network.add_delivery_hook(lambda message, when: seen.append(message.payload))
+        network.send(Message("a", "b", "x", 10))
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestFailureSemantics:
+    def test_failed_source_drops(self, sim, net_pair):
+        network, a, b = net_pair
+        a.fail()
+        assert network.send(Message("a", "b", "x", 10)) is False
+        sim.run()
+        assert b.received == []
+        assert network.messages_dropped == 1
+
+    def test_failed_destination_drops_silently(self, sim, net_pair):
+        network, a, b = net_pair
+        b.fail()
+        assert network.send(Message("a", "b", "x", 10)) is True
+        sim.run()
+        assert b.received == []
+
+    def test_recovered_destination_receives(self, sim, net_pair):
+        network, a, b = net_pair
+        b.fail()
+        b.recover()
+        network.send(Message("a", "b", "x", 10))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_drops_directionally(self, sim, net_pair):
+        network, a, b = net_pair
+        network.partition("a", "b")
+        assert network.send(Message("a", "b", "x", 10)) is False
+        assert network.send(Message("b", "a", "y", 10)) is True
+        sim.run()
+        assert len(a.received) == 1
+
+    def test_heal_restores(self, sim, net_pair):
+        network, a, b = net_pair
+        network.partition("a", "b")
+        network.heal("a", "b")
+        network.send(Message("a", "b", "x", 10))
+        sim.run()
+        assert len(b.received) == 1
+
+
+class TestPacedSend:
+    def test_paced_arrival_after_pacing_duration(self, sim, net_pair):
+        network, a, b = net_pair
+        network.send_paced(Message("a", "b", "blk", 250_000, kind=KIND_DATA), 1.0)
+        sim.run()
+        _, arrival = b.received[0]
+        assert arrival == pytest.approx(1.001, abs=0.001)
+
+    def test_paced_charges_serialization_share(self, sim, net_pair):
+        network, a, b = net_pair
+        # 250 KB on a 100 Mbit/s NIC = 20 ms of wire time.
+        network.send_paced(Message("a", "b", "blk", 250_000, kind=KIND_DATA), 1.0)
+        sim.run(until=1.0)
+        assert network.nic("a").utilization(1.0) == pytest.approx(0.02, abs=0.002)
+
+    def test_negative_pacing_rejected(self, sim, net_pair):
+        network, a, b = net_pair
+        with pytest.raises(ValueError):
+            network.send_paced(Message("a", "b", "x", 10), -1.0)
+
+
+class TestTrafficAccounting:
+    def test_control_vs_data_separated(self, sim, net_pair):
+        network, a, b = net_pair
+        network.send(Message("a", "b", "c", 100))
+        network.send_paced(Message("a", "b", "d", 1000, kind=KIND_DATA), 0.1)
+        sim.run()
+        assert network.control_bytes_from["a"].total == 100
+        assert network.data_bytes_from["a"].total == 1000
+
+    def test_control_rate_snapshot(self, sim, net_pair):
+        network, a, b = net_pair
+        for _ in range(10):
+            network.send(Message("a", "b", "c", 100))
+        sim.run(until=10.0)
+        assert network.control_rate_from("a", 10.0) == pytest.approx(100.0)
+        # Window resets after snapshot.
+        assert network.control_rate_from("a", 20.0) == 0.0

@@ -1,0 +1,133 @@
+"""Tests for the schedule renderers and the restripe executor."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.analysis.render import (
+    render_disk_schedule,
+    render_network_schedule,
+    render_view_summary,
+)
+from repro.core.netschedule import NetworkSchedule
+from repro.core.slots import SlotClock
+from repro.sim.core import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.storage.restripe import estimate_restripe_time, plan_restripe
+from repro.storage.restripe_exec import RestripeExecutor
+
+
+class TestDiskScheduleRender:
+    def test_renders_occupancy_and_pointers(self):
+        clock = SlotClock(8, 32, 1.0)
+        text = render_disk_schedule(clock, {0: "A", 1: "A", 30: "B"}, now=2.5)
+        assert "32 slots" in text
+        assert "disk 0" in text
+        assert "[" in text and "]" in text
+
+    def test_free_schedule_is_dots(self):
+        clock = SlotClock(4, 16, 1.0)
+        text = render_disk_schedule(clock, {}, now=0.0)
+        bar = text.splitlines()[1]
+        assert set(bar.strip("[]")) == {"."}
+
+    def test_pointer_rows_capped(self):
+        clock = SlotClock(56, 602, 1.0)
+        text = render_disk_schedule(clock, {}, now=0.0, max_pointer_rows=3)
+        assert "more disks" in text
+
+    def test_too_narrow_rejected(self):
+        clock = SlotClock(4, 16, 1.0)
+        with pytest.raises(ValueError):
+            render_disk_schedule(clock, {}, now=0.0, width=4)
+
+
+class TestNetworkScheduleRender:
+    def test_bars_scale_with_load(self):
+        schedule = NetworkSchedule(8.0, 10e6, 1.0)
+        schedule.insert("a", 0.0, 10e6)  # full height at the start
+        text = render_network_schedule(schedule, width=16, height=5)
+        first_row = text.splitlines()[0]
+        assert "#" in first_row  # reaches the capacity line
+
+    def test_empty_schedule_is_blank(self):
+        schedule = NetworkSchedule(8.0, 10e6, 1.0)
+        text = render_network_schedule(schedule, width=16, height=4)
+        assert "#" not in text
+        assert "0% of plane" in text
+
+    def test_too_small_rejected(self):
+        schedule = NetworkSchedule(8.0, 10e6, 1.0)
+        with pytest.raises(ValueError):
+            render_network_schedule(schedule, width=4)
+
+
+class TestViewSummaryRender:
+    def test_summarizes_every_cub(self):
+        system = TigerSystem(small_config(), seed=81)
+        system.add_standard_content(num_files=2, duration_s=60)
+        client = system.add_client()
+        client.start_stream(file_id=0)
+        system.run_for(5.0)
+        text = render_view_summary(system)
+        for cub in system.cubs:
+            assert f"cub {cub.cub_id}" in text
+
+    def test_marks_failed_cubs(self):
+        system = TigerSystem(small_config(), seed=82)
+        system.add_standard_content(num_files=2, duration_s=60)
+        system.start()
+        system.fail_cub(2)
+        system.run_for(10.0)
+        text = render_view_summary(system)
+        assert "FAILED" in text
+        assert "believes failed: [2]" in text
+
+
+def build_plan(cubs_before, cubs_after, files=8, duration=60.0):
+    old = StripeLayout(cubs_before, 2)
+    new = StripeLayout(cubs_after, 2)
+    catalog = Catalog(1.0, old.num_disks)
+    for index in range(files):
+        catalog.add_file(f"f{index}", 2e6, duration)
+    sizes = {entry.file_id: 250_000 for entry in catalog.files()}
+    return plan_restripe(old, new, catalog.files(), sizes)
+
+
+class TestRestripeExecutor:
+    RATES = dict(disk_read_rate=5.2e6, disk_write_rate=4.5e6, cub_network_rate=12e6)
+
+    def test_empty_plan_is_instant(self):
+        plan = build_plan(4, 4)
+        result = RestripeExecutor(Simulator(), plan, **self.RATES).run()
+        assert result.completion_time == 0.0
+        assert result.blocks_moved == 0
+
+    def test_moves_complete_and_account(self):
+        plan = build_plan(4, 5)
+        result = RestripeExecutor(Simulator(), plan, **self.RATES).run()
+        assert result.blocks_moved == len(plan.moves)
+        assert result.bytes_moved == plan.total_bytes
+        assert result.completion_time > 0
+
+    def test_execution_close_to_analytic_estimate(self):
+        """The pipelined executor should land within a small factor of
+        the bottleneck-resource estimate."""
+        plan = build_plan(4, 5, files=16, duration=120.0)
+        estimate = estimate_restripe_time(plan, 5.2e6, 4.5e6, 12e6)
+        result = RestripeExecutor(Simulator(), plan, **self.RATES,).run()
+        assert estimate <= result.completion_time <= 2.5 * estimate
+
+    def test_wall_clock_flat_across_system_sizes(self):
+        """The dynamic form of the §2.2 size-independence claim."""
+        times = []
+        for cubs in (4, 8, 16):
+            plan = build_plan(cubs, cubs + 1, files=cubs * 2, duration=120.0)
+            result = RestripeExecutor(Simulator(), plan, **self.RATES).run()
+            times.append(result.completion_time)
+        assert max(times) < 1.6 * min(times)
+
+    def test_bad_rates_rejected(self):
+        plan = build_plan(4, 5)
+        with pytest.raises(ValueError):
+            RestripeExecutor(Simulator(), plan, 0.0, 1.0, 1.0)

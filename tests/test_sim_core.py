@@ -1,0 +1,172 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, Event
+
+
+class TestScheduling:
+    def test_call_after_fires_in_order(self, sim):
+        fired = []
+        sim.call_after(2.0, fired.append, "late")
+        sim.call_after(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_call_at_absolute_time(self, sim):
+        fired = []
+        sim.call_at(5.0, fired.append, sim)
+        sim.run()
+        assert sim.now == 5.0
+        assert fired
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.call_after(3.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(3.5)
+
+    def test_same_time_fifo_order(self, sim):
+        fired = []
+        for tag in range(5):
+            sim.call_at(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self, sim):
+        fired = []
+        sim.call_at(1.0, fired.append, "normal")
+        sim.call_at(1.0, fired.append, "low", priority=PRIORITY_LOW)
+        sim.call_at(1.0, fired.append, "high", priority=PRIORITY_HIGH)
+        sim.run()
+        assert fired == ["high", "normal", "low"]
+
+    def test_scheduling_in_past_raises(self, sim):
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_scheduling_at_now_is_allowed(self, sim):
+        fired = []
+        sim.call_after(1.0, lambda: sim.call_at(sim.now, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_after(-0.1, lambda: None)
+
+    def test_none_callback_raises(self):
+        with pytest.raises(ValueError):
+            Event(0.0, None)
+
+    def test_events_chain(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.call_after(1.0, second)
+
+        def second():
+            fired.append("second")
+
+        sim.call_after(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.call_after(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.call_after(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert not event.active
+
+    def test_cancel_from_earlier_event(self, sim):
+        fired = []
+        victim = sim.call_after(2.0, fired.append, "victim")
+        sim.call_after(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_events_do_not_advance_clock(self, sim):
+        event = sim.call_after(10.0, lambda: None)
+        sim.call_after(1.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_future_events(self, sim):
+        fired = []
+        sim.call_after(1.0, fired.append, "a")
+        sim.call_after(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_then_continue(self, sim):
+        fired = []
+        sim.call_after(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["b"]
+
+    def test_run_until_advances_clock_with_no_events(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == pytest.approx(7.0)
+
+    def test_max_events_limits_dispatch(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.call_after(float(tag + 1), fired.append, tag)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_aborts_run(self, sim):
+        fired = []
+        sim.call_after(1.0, fired.append, "a")
+        sim.call_after(2.0, sim.stop)
+        sim.call_after(3.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_run_is_not_reentrant(self, sim):
+        def nested():
+            sim.run()
+
+        sim.call_after(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_peek_time_skips_cancelled(self, sim):
+        event = sim.call_after(1.0, lambda: None)
+        sim.call_after(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == pytest.approx(2.0)
+
+    def test_events_dispatched_counter(self, sim):
+        for _ in range(4):
+            sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 4
+
+    def test_start_time_offset(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(101.0)

@@ -1,0 +1,132 @@
+"""Tests for RNG streams, tracing, and the Process base class."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer, format_trace
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self, rngs):
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_different_names_different_streams(self, rngs):
+        assert rngs.stream("a") is not rngs.stream("b")
+
+    def test_deterministic_across_registries(self):
+        first = RngRegistry(seed=5).stream("disk.0")
+        second = RngRegistry(seed=5).stream("disk.0")
+        assert [first.random() for _ in range(10)] == [
+            second.random() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        first = RngRegistry(seed=1).stream("x")
+        second = RngRegistry(seed=2).stream("x")
+        assert first.random() != second.random()
+
+    def test_streams_are_independent(self):
+        """Drawing from one stream must not perturb another."""
+        reference = RngRegistry(seed=9)
+        expected = [reference.stream("b").random() for _ in range(5)]
+
+        registry = RngRegistry(seed=9)
+        registry.stream("a").random()  # interleaved draw on another stream
+        actual = [registry.stream("b").random() for _ in range(5)]
+        assert actual == expected
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(seed=3)
+        fork = base.fork("salt")
+        assert base.stream("x").random() != fork.stream("x").random()
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "cat", "msg")
+        assert len(tracer.records) == 0
+
+    def test_enabled_records(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.emit(1.0, "cat", "msg", key="value")
+        assert len(tracer.records) == 1
+        assert tracer.records[0].fields["key"] == "value"
+
+    def test_category_filter(self):
+        tracer = Tracer()
+        tracer.enable("keep")
+        tracer.emit(1.0, "keep", "a")
+        tracer.emit(1.0, "drop", "b")
+        assert [record.category for record in tracer.records] == ["keep"]
+
+    def test_select_and_matching(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.emit(1.0, "insert", "x", slot=3)
+        tracer.emit(2.0, "insert", "y", slot=4)
+        tracer.emit(3.0, "other", "z")
+        assert len(tracer.select("insert")) == 2
+        assert len(tracer.matching("insert", slot=4)) == 1
+
+    def test_capacity_bound(self):
+        tracer = Tracer(capacity=10)
+        tracer.enable()
+        for index in range(100):
+            tracer.emit(float(index), "cat", "m")
+        assert len(tracer.records) == 10
+
+    def test_format_trace(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.emit(1.5, "cat", "hello", a=1)
+        text = format_trace(tracer.records)
+        assert "hello" in text and "a=1" in text
+
+
+class TestProcess:
+    def test_after_schedules(self, sim):
+        proc = Process(sim, "p")
+        fired = []
+        proc.after(1.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+
+    def test_every_repeats(self, sim):
+        proc = Process(sim, "p")
+        fired = []
+        proc.every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.5)
+        assert len(fired) == 5
+
+    def test_every_rejects_nonpositive_period(self, sim):
+        with pytest.raises(ValueError):
+            Process(sim, "p").every(0.0, lambda: None)
+
+    def test_cancel_timers_stops_periodic(self, sim):
+        proc = Process(sim, "p")
+        fired = []
+        proc.every(1.0, lambda: fired.append(1))
+        sim.call_at(2.5, proc.cancel_timers)
+        sim.run(until=10.0)
+        assert len(fired) == 2
+
+    def test_every_with_jitter(self, sim, rngs):
+        rng = rngs.stream("jitter")
+        proc = Process(sim, "p")
+        times = []
+        proc.every(1.0, lambda: times.append(sim.now), jitter_fn=lambda: rng.random() * 0.1)
+        sim.run(until=10.0)
+        assert len(times) >= 8
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(1.0 <= gap <= 1.1 + 1e-9 for gap in gaps)
+
+    def test_trace_through_process(self, sim):
+        tracer = Tracer()
+        tracer.enable()
+        proc = Process(sim, "proc-x", tracer)
+        proc.trace("cat", "did a thing", n=2)
+        assert tracer.records[0].message.startswith("proc-x:")

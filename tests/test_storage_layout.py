@@ -1,0 +1,105 @@
+"""Tests for cub-minor striping (paper §2.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.layout import StripeLayout
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(num_cubs=14, disks_per_cub=4)
+
+
+class TestCubMinorNumbering:
+    def test_paper_example(self, layout):
+        """Disk 0 on cub 0, disk 1 on cub 1, disk n on cub 0 again."""
+        assert layout.cub_of_disk(0) == 0
+        assert layout.cub_of_disk(1) == 1
+        assert layout.cub_of_disk(14) == 0
+        assert layout.cub_of_disk(15) == 1
+
+    def test_disks_of_cub(self, layout):
+        assert layout.disks_of_cub(0) == (0, 14, 28, 42)
+        assert layout.disks_of_cub(13) == (13, 27, 41, 55)
+
+    def test_every_disk_belongs_to_exactly_one_cub(self, layout):
+        seen = []
+        for cub in range(layout.num_cubs):
+            seen.extend(layout.disks_of_cub(cub))
+        assert sorted(seen) == list(range(layout.num_disks))
+
+    def test_local_index(self, layout):
+        assert layout.local_index(0) == 0
+        assert layout.local_index(14) == 1
+        assert layout.local_index(42) == 3
+
+    def test_out_of_range_disk_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.cub_of_disk(56)
+        with pytest.raises(ValueError):
+            layout.cub_of_disk(-1)
+
+    def test_out_of_range_cub_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.disks_of_cub(14)
+
+    def test_degenerate_configs_rejected(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 4)
+        with pytest.raises(ValueError):
+            StripeLayout(4, 0)
+
+
+class TestBlockPlacement:
+    def test_consecutive_blocks_consecutive_disks(self, layout):
+        disks = [layout.disk_of_block(5, block) for block in range(4)]
+        assert disks == [5, 6, 7, 8]
+
+    def test_wraps_at_highest_disk(self, layout):
+        assert layout.disk_of_block(55, 1) == 0
+
+    def test_consecutive_blocks_consecutive_cubs(self, layout):
+        """The property the ring protocol depends on."""
+        cubs = [layout.cub_of_block(0, block) for block in range(14)]
+        assert cubs == list(range(14))
+
+    def test_negative_block_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.disk_of_block(0, -1)
+
+    @given(
+        st.integers(0, 55),
+        st.integers(0, 10_000),
+    )
+    def test_block_placement_is_start_plus_index_mod_n(self, start, block):
+        layout = StripeLayout(14, 4)
+        assert layout.disk_of_block(start, block) == (start + block) % 56
+
+    @given(st.integers(2, 20), st.integers(1, 6), st.integers(0, 500))
+    def test_every_disk_used_equally_over_full_cycle(self, cubs, disks_per, start_seed):
+        """Striping load-balances: one full wrap touches every disk once."""
+        layout = StripeLayout(cubs, disks_per)
+        start = start_seed % layout.num_disks
+        touched = [layout.disk_of_block(start, block) for block in range(layout.num_disks)]
+        assert sorted(touched) == list(range(layout.num_disks))
+
+
+class TestRingArithmetic:
+    def test_next_disk_wraps(self, layout):
+        assert layout.next_disk(55) == 0
+        assert layout.next_disk(0, -1) == 55
+
+    def test_next_cub_wraps(self, layout):
+        assert layout.next_cub(13) == 0
+        assert layout.next_cub(0, -1) == 13
+
+    def test_ring_distance(self, layout):
+        assert layout.ring_distance(0, 3) == 3
+        assert layout.ring_distance(12, 2) == 4
+        assert layout.ring_distance(5, 5) == 0
+
+    @given(st.integers(0, 13), st.integers(0, 13))
+    def test_ring_distance_inverse(self, a, b):
+        layout = StripeLayout(14, 4)
+        assert layout.next_cub(a, layout.ring_distance(a, b)) == b

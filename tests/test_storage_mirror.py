@@ -1,0 +1,139 @@
+"""Tests for declustered mirroring (paper §2.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+
+
+@pytest.fixture
+def scheme():
+    return MirrorScheme(StripeLayout(14, 4), decluster=4)
+
+
+class TestPlacement:
+    def test_pieces_on_following_disks(self, scheme):
+        """Secondaries live on the disks immediately after the primary."""
+        assert scheme.secondary_disks(10) == (11, 12, 13, 14)
+
+    def test_wraparound(self, scheme):
+        assert scheme.secondary_disks(54) == (55, 0, 1, 2)
+
+    def test_piece_location_matches_secondary_disks(self, scheme):
+        for piece in range(4):
+            assert scheme.piece_location(10, piece) == scheme.secondary_disks(10)[piece]
+
+    def test_piece_out_of_range_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.piece_location(0, 4)
+
+    def test_primaries_mirrored_on_inverse(self, scheme):
+        """pieces_hosted_by is the inverse of secondary placement."""
+        for primary, piece in scheme.primaries_mirrored_on(20):
+            assert scheme.piece_location(primary, piece) == 20
+
+    def test_covering_cubs_follow_failed_cub(self, scheme):
+        assert scheme.covering_cubs(3) == (4, 5, 6, 7)
+
+    def test_covering_cubs_wrap(self, scheme):
+        assert scheme.covering_cubs(12) == (13, 0, 1, 2)
+
+    def test_piece_size_ceil(self, scheme):
+        assert scheme.piece_size(250_000) == 62_500
+        assert scheme.piece_size(250_001) == 62_501
+
+    def test_invalid_decluster_rejected(self):
+        layout = StripeLayout(4, 1)
+        with pytest.raises(ValueError):
+            MirrorScheme(layout, 0)
+        with pytest.raises(ValueError):
+            MirrorScheme(layout, 4)
+
+    @given(st.integers(2, 16), st.integers(1, 4), st.integers(1, 6))
+    def test_every_piece_on_distinct_disk(self, cubs, disks_per, decluster):
+        layout = StripeLayout(cubs, disks_per)
+        if decluster >= layout.num_disks:
+            return
+        scheme = MirrorScheme(layout, decluster)
+        for primary in range(layout.num_disks):
+            pieces = scheme.secondary_disks(primary)
+            assert len(set(pieces)) == len(pieces)
+            assert primary not in pieces
+
+
+class TestFaultToleranceTradeoff:
+    """The §2.3 numbers: bandwidth reserve vs vulnerability."""
+
+    def test_decluster_4_reserves_one_fifth(self):
+        scheme = MirrorScheme(StripeLayout(14, 4), 4)
+        assert scheme.bandwidth_reserved_fraction() == pytest.approx(1 / 5)
+
+    def test_decluster_2_reserves_one_third(self):
+        scheme = MirrorScheme(StripeLayout(14, 4), 2)
+        assert scheme.bandwidth_reserved_fraction() == pytest.approx(1 / 3)
+
+    def test_decluster_4_vulnerable_on_8_machines(self):
+        """"a second failure on any of 8 machines would result in the
+        loss of data" — 4 ahead and 4 behind."""
+        scheme = MirrorScheme(StripeLayout(14, 4), 4)
+        assert len(scheme.second_failure_vulnerable_cubs(5)) == 8
+
+    def test_decluster_2_survives_distant_failures(self):
+        """decluster 2 "can survive failures more than two cubs away"."""
+        scheme = MirrorScheme(StripeLayout(14, 4), 2)
+        vulnerable = scheme.second_failure_vulnerable_cubs(5)
+        assert vulnerable == (3, 4, 6, 7)
+
+    def test_single_failure_keeps_data(self, scheme):
+        layout = StripeLayout(14, 4)
+        failed = layout.disks_of_cub(3)
+        assert scheme.data_available(failed)
+
+    def test_adjacent_cub_failures_lose_data(self, scheme):
+        layout = StripeLayout(14, 4)
+        failed = layout.disks_of_cub(3) + layout.disks_of_cub(4)
+        assert not scheme.data_available(failed)
+
+    def test_distant_cub_failures_keep_data(self, scheme):
+        layout = StripeLayout(14, 4)
+        failed = layout.disks_of_cub(3) + layout.disks_of_cub(10)
+        assert scheme.data_available(failed)
+
+    def test_lost_block_fraction(self):
+        layout = StripeLayout(6, 1)
+        scheme = MirrorScheme(layout, 2)
+        # disks 0 and 1 failed: disk 0's pieces live on 1,2 -> lost.
+        # disk 1's pieces live on 2,3 -> readable.
+        assert scheme.lost_block_fraction([0, 1]) == pytest.approx(1 / 6)
+        assert scheme.lost_block_fraction([]) == 0.0
+
+    def test_survivable_pairs_grow_with_smaller_decluster(self):
+        layout = StripeLayout(14, 4)
+        wide = MirrorScheme(layout, 4).survivable_failure_pairs()
+        narrow = MirrorScheme(layout, 2).survivable_failure_pairs()
+        assert narrow > wide
+
+    @given(st.integers(5, 16), st.integers(1, 4))
+    def test_vulnerable_set_size_is_2d_when_ring_large_enough(self, cubs, decluster):
+        layout = StripeLayout(cubs, 2)
+        if decluster >= cubs or 2 * decluster >= cubs:
+            return
+        scheme = MirrorScheme(layout, decluster)
+        assert len(scheme.second_failure_vulnerable_cubs(0)) == 2 * decluster
+
+    @given(st.integers(6, 14), st.integers(1, 3), st.integers(0, 13), st.integers(0, 13))
+    def test_data_available_symmetric_in_pair(self, cubs, decluster, a, b):
+        """Joint availability of a cub pair can't depend on order."""
+        layout = StripeLayout(cubs, 2)
+        if decluster >= cubs:
+            return
+        scheme = MirrorScheme(layout, decluster)
+        first, second = a % cubs, b % cubs
+        fwd = scheme.data_available(
+            layout.disks_of_cub(first) + layout.disks_of_cub(second)
+        )
+        rev = scheme.data_available(
+            layout.disks_of_cub(second) + layout.disks_of_cub(first)
+        )
+        assert fwd == rev

@@ -1,0 +1,115 @@
+"""Tests for restriping (paper §2.2)."""
+
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.storage.restripe import estimate_restripe_time, plan_restripe
+
+
+def build_catalog(num_disks, files=4, duration=50.0):
+    catalog = Catalog(block_play_time=1.0, num_disks=num_disks)
+    for index in range(files):
+        catalog.add_file(f"f{index}", 2e6, duration)
+    return catalog
+
+
+def block_sizes(catalog, size=250_000):
+    return {entry.file_id: size for entry in catalog.files()}
+
+
+class TestPlan:
+    def test_identity_restripe_moves_nothing(self):
+        layout = StripeLayout(4, 2)
+        catalog = build_catalog(layout.num_disks)
+        plan = plan_restripe(layout, layout, catalog.files(), block_sizes(catalog))
+        assert plan.total_bytes == 0
+
+    def test_growth_moves_blocks(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(5, 2)
+        catalog = build_catalog(old.num_disks)
+        plan = plan_restripe(old, new, catalog.files(), block_sizes(catalog))
+        assert plan.total_bytes > 0
+
+    def test_moves_land_on_new_layout_positions(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(5, 2)
+        catalog = build_catalog(old.num_disks, files=2)
+        plan = plan_restripe(old, new, catalog.files(), block_sizes(catalog))
+        for move in plan.moves:
+            entry = catalog.get(move.file_id)
+            assert move.dst_disk == new.disk_of_block(
+                entry.start_disk % new.num_disks, move.block_index
+            )
+            assert move.src_disk == old.disk_of_block(
+                entry.start_disk, move.block_index
+            )
+
+    def test_unmoved_blocks_not_in_plan(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(5, 2)
+        catalog = build_catalog(old.num_disks, files=1)
+        plan = plan_restripe(old, new, catalog.files(), block_sizes(catalog))
+        planned = {(move.file_id, move.block_index) for move in plan.moves}
+        entry = catalog.files()[0]
+        for block in range(entry.num_blocks):
+            src = old.disk_of_block(entry.start_disk, block)
+            dst = new.disk_of_block(entry.start_disk % new.num_disks, block)
+            assert ((entry.file_id, block) in planned) == (src != dst)
+
+    def test_start_disk_override(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(4, 2)
+        catalog = build_catalog(old.num_disks, files=1)
+        entry = catalog.files()[0]
+        plan = plan_restripe(
+            old,
+            new,
+            catalog.files(),
+            block_sizes(catalog),
+            new_start_disks={entry.file_id: (entry.start_disk + 1) % 8},
+        )
+        # Shifting the start disk by one moves every block.
+        assert len(plan.moves) == entry.num_blocks
+
+    def test_per_disk_accounting_sums_to_total(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(5, 2)
+        catalog = build_catalog(old.num_disks)
+        plan = plan_restripe(old, new, catalog.files(), block_sizes(catalog))
+        assert sum(plan.bytes_out_of_disk().values()) == plan.total_bytes
+        assert sum(plan.bytes_into_disk().values()) == plan.total_bytes
+
+
+class TestTimeEstimate:
+    def test_zero_moves_zero_time(self):
+        layout = StripeLayout(4, 2)
+        catalog = build_catalog(layout.num_disks)
+        plan = plan_restripe(layout, layout, catalog.files(), block_sizes(catalog))
+        assert estimate_restripe_time(plan, 5e6, 5e6, 10e6) == 0.0
+
+    def test_bad_rates_rejected(self):
+        layout = StripeLayout(4, 2)
+        catalog = build_catalog(layout.num_disks)
+        plan = plan_restripe(layout, layout, catalog.files(), block_sizes(catalog))
+        with pytest.raises(ValueError):
+            estimate_restripe_time(plan, 0.0, 5e6, 10e6)
+
+    def test_restripe_time_independent_of_system_size(self):
+        """§2.2: restripe time depends on cub/disk size and speed, not
+        on the number of cubs — the aggregate switch bandwidth grows
+        with the system.  Growing N -> N+1 cubs at constant per-disk
+        content should take roughly constant time across N."""
+        times = []
+        for cubs in (4, 8, 12):
+            old = StripeLayout(cubs, 2)
+            new = StripeLayout(cubs + 1, 2)
+            # Constant data per disk: total files scale with disks.
+            catalog = build_catalog(
+                old.num_disks, files=old.num_disks, duration=40.0
+            )
+            plan = plan_restripe(old, new, catalog.files(), block_sizes(catalog))
+            times.append(estimate_restripe_time(plan, 5e6, 5e6, 12e6))
+        spread = max(times) / min(times)
+        assert spread < 1.6, f"restripe times varied too much: {times}"

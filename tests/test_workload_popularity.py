@@ -1,0 +1,79 @@
+"""Tests for the Zipf popularity workload and skew measurement."""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.sim.rng import RngRegistry
+from repro.workloads.popularity import (
+    SkewReport,
+    ZipfSelector,
+    ZipfWorkload,
+    measure_skew,
+)
+
+
+class TestZipfSelector:
+    def test_probabilities_sum_to_one(self, rngs):
+        selector = ZipfSelector(10, 1.0, rngs.stream("z"))
+        total = sum(selector.probability(rank) for rank in range(10))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_zero_most_popular(self, rngs):
+        selector = ZipfSelector(10, 1.2, rngs.stream("z"))
+        probs = [selector.probability(rank) for rank in range(10)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_exponent_zero_is_uniform(self, rngs):
+        selector = ZipfSelector(5, 0.0, rngs.stream("z"))
+        for rank in range(5):
+            assert selector.probability(rank) == pytest.approx(0.2)
+
+    def test_draws_match_distribution(self, rngs):
+        selector = ZipfSelector(4, 1.0, rngs.stream("z"))
+        counts = [0, 0, 0, 0]
+        for _ in range(4000):
+            counts[selector.draw()] += 1
+        assert counts[0] > counts[1] > counts[3]
+        expected0 = selector.probability(0)
+        assert counts[0] / 4000 == pytest.approx(expected0, abs=0.04)
+
+    def test_invalid_parameters(self, rngs):
+        with pytest.raises(ValueError):
+            ZipfSelector(0, 1.0, rngs.stream("z"))
+        with pytest.raises(ValueError):
+            ZipfSelector(5, -1.0, rngs.stream("z"))
+        selector = ZipfSelector(5, 1.0, rngs.stream("z"))
+        with pytest.raises(ValueError):
+            selector.probability(5)
+
+
+class TestSkewedDemandBalance:
+    def test_striping_absorbs_zipf_skew(self):
+        """§2.2: skewed demand, flat component load."""
+        system = TigerSystem(small_config(), seed=61)
+        system.add_standard_content(num_files=8, duration_s=240)
+        workload = ZipfWorkload(system, exponent=1.4)
+        workload.add_streams(24)
+        system.run_for(10.0)
+        for cub in system.cubs:
+            cub.reset_measurement()
+        system.run_for(15.0)
+        report = measure_skew(system, workload)
+        # Demand is visibly skewed...
+        assert report.demand_skew > 1.8
+        # ...but no drive is a hotspot.
+        assert report.service_skew < 1.35
+
+    def test_report_handles_uniform(self):
+        report = SkewReport({0: 5, 1: 5}, [0.5, 0.5])
+        assert report.demand_skew == pytest.approx(1.0)
+        assert report.service_skew == pytest.approx(1.0)
+
+    def test_zipf_workload_restarts_with_zipf(self):
+        system = TigerSystem(small_config(), seed=62)
+        system.add_standard_content(num_files=6, duration_s=20)
+        workload = ZipfWorkload(system, exponent=1.0)
+        workload.add_streams(6)
+        system.run_for(60.0)  # several EOF generations
+        report = measure_skew(system, workload)
+        assert sum(report.plays_per_file.values()) > 6

@@ -29,7 +29,6 @@ def run_failover(timeout: float):
         workload.add_streams(60)
         system.run_for(3.0)
     system.run_for(10.0)
-    failure_time = system.sim.now
     system.fail_cub(5)
     system.run_for(timeout + 30.0)
     system.finalize_clients()

@@ -14,7 +14,7 @@ Walks through the arithmetic an operator would do before deploying:
 Run:  python examples/capacity_planning.py
 """
 
-from repro.config import TigerConfig, paper_config
+from repro.config import paper_config
 from repro.core.centralized import scalability_table
 from repro.disk.model import (
     DiskParameters,

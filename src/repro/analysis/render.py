@@ -9,7 +9,7 @@ terminal, for examples, debugging, and documentation.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.netschedule import NetworkSchedule
 from repro.core.slots import SlotClock
@@ -102,7 +102,6 @@ def render_view_summary(system: "object") -> str:
     """One line per cub: where its pointers are and what it knows —
     the textual form of the paper's Figure 7 comparison of views."""
     lines = []
-    now = system.sim.now
     for cub in system.cubs:
         status = "FAILED" if cub.failed else "alive"
         slots = cub.view.known_slots()

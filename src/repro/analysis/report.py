@@ -104,6 +104,16 @@ PAPER_CLAIMS = {
         "files; the paper's own OC-3/4-disk cubs were always "
         "disk-limited.",
     ),
+    "chaos_soak": (
+        "§4–§5 correctness under faults (chaos soak)",
+        "The schedule protocol's claims — single ownership of every "
+        "slot visit, no orphaned viewers, convergent failure beliefs, "
+        "every block accounted for — are argued to hold under message "
+        "loss, disk failure, and machine failure; the paper validates "
+        "them by killing a cub mid-run.  The soak re-checks all of them "
+        "every simulated second while mixed faults are injected, and "
+        "replays bit-identically from a seed.",
+    ),
 }
 
 #: Presentation order.
@@ -122,6 +132,7 @@ EXPERIMENT_ORDER = [
     "ablation_admission",
     "ablation_deadman",
     "mbr_bottleneck_crossover",
+    "chaos_soak",
 ]
 
 HEADER = """\

@@ -7,6 +7,8 @@ Subcommands:
 * ``failover`` — run the §5 reconfiguration drill and print the loss
                  window;
 * ``capacity`` — print the derived capacity numbers for a configuration;
+* ``chaos``    — run a fault-injection soak under the runtime invariant
+                 monitor and print the deterministic replay fingerprint;
 * ``report``   — regenerate EXPERIMENTS.md from benchmark results.
 
 Usage::
@@ -14,6 +16,7 @@ Usage::
     python -m repro.cli demo --streams 12 --seconds 30
     python -m repro.cli failover --load 0.5
     python -m repro.cli capacity --cubs 14 --disks 4
+    python -m repro.cli chaos --seconds 90 --drop-rate 0.01
     python -m repro.cli report
 """
 
@@ -113,6 +116,49 @@ def cmd_capacity(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import ChaosHarness, InvariantViolation, standard_chaos_plan
+
+    config = paper_config() if args.paper else small_config()
+    if args.seconds <= 0:
+        print("error: --seconds must be positive")
+        return 2
+    if not 0 <= args.victim < config.num_cubs:
+        print(
+            f"error: --victim must be a cub id in 0..{config.num_cubs - 1}"
+        )
+        return 2
+    try:
+        plan = standard_chaos_plan(
+            duration=args.seconds,
+            drop_rate=args.drop_rate,
+            victim_cub=args.victim,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    print("fault plan:")
+    print(plan.describe())
+    print()
+    harness = ChaosHarness(
+        config,
+        plan,
+        seed=args.seed,
+        load=args.load,
+        duration=args.seconds,
+        num_files=args.files,
+        file_seconds=args.file_seconds,
+    )
+    try:
+        report = harness.run()
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION\n{violation}")
+        return 1
+    for line in report.lines():
+        print(line)
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import main as report_main
 
@@ -150,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     capacity.add_argument("--disks", type=int, default=4)
     capacity.add_argument("--decluster", type=int, default=4)
     capacity.set_defaults(func=cmd_capacity)
+
+    chaos = subparsers.add_parser("chaos", help="fault-injection soak")
+    common(chaos)
+    chaos.add_argument("--load", type=float, default=0.5)
+    chaos.add_argument("--seconds", type=float, default=120.0)
+    chaos.add_argument("--drop-rate", type=float, default=0.01)
+    chaos.add_argument("--victim", type=int, default=1)
+    chaos.set_defaults(func=cmd_chaos)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
     report.add_argument("--results", default="benchmarks/results")

@@ -25,7 +25,6 @@ from repro.net.message import KIND_DATA, Message
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
 from repro.sim.core import Simulator
-from repro.sim.rng import RngRegistry
 from repro.sim.stats import BusyMeter, Counter
 from repro.sim.trace import Tracer
 from repro.storage.catalog import Catalog

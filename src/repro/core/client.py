@@ -18,7 +18,7 @@ from repro.config import TigerConfig
 from repro.core.controller import CONTROLLER_ADDRESS
 from repro.core.protocol import BlockData, ClientStart, ClientStop
 from repro.core.viewerstate import new_instance_id
-from repro.net.message import KIND_DATA, REQUEST_BYTES, Message
+from repro.net.message import REQUEST_BYTES, Message
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
 from repro.sim.core import Simulator

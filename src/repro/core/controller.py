@@ -11,8 +11,8 @@ why its load stays flat as the system grows (Figures 8/9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.config import TigerConfig
 from repro.core.cub import cub_address
@@ -37,6 +37,13 @@ from repro.storage.catalog import Catalog
 from repro.storage.layout import StripeLayout
 
 CONTROLLER_ADDRESS = "controller"
+
+#: Sentinel "cub id" used in primary-to-backup controller heartbeats.
+CONTROLLER_HEARTBEAT_ID = -1
+#: Sentinel "cub id" an *active* backup beacons at the primary address:
+#: a resurrected primary that hears it knows a takeover happened and
+#: demotes itself (split-brain prevention).
+BACKUP_ACTIVE_HEARTBEAT_ID = -2
 
 
 @dataclass
@@ -95,20 +102,36 @@ class Controller(NetworkNode):
 
     def attach_backup(self, backup_address: str) -> None:
         """Start replicating to (and heartbeating) a backup controller."""
+        self.backup_address = backup_address
+        self._start_backup_heartbeat()
+
+    def _start_backup_heartbeat(self) -> None:
         from repro.core.protocol import Heartbeat
 
-        self.backup_address = backup_address
+        backup_address = self.backup_address
         self.every(
             self.config.heartbeat_interval,
             lambda: self.network.send(
                 Message(
                     self.address,
                     backup_address,
-                    Heartbeat(-1),
+                    Heartbeat(CONTROLLER_HEARTBEAT_ID),
                     DESCHEDULE_BYTES,
                 )
             ),
         )
+
+    def recover(self) -> None:
+        """Power back on; ``fail`` cancelled the timers, so restart them.
+
+        The controller comes back believing it is active; if a backup
+        took over in the meantime its active beacons demote us within
+        one heartbeat interval (see :meth:`_on_controller_heartbeat`).
+        """
+        super().recover()
+        self.every(0.1, self._clock_master_tick)
+        if self.backup_address is not None:
+            self._start_backup_heartbeat()
 
     def _replicate(self, kind: str, record: PlayRecord) -> None:
         if self.backup_address is None:
@@ -149,7 +172,7 @@ class Controller(NetworkNode):
         elif isinstance(payload, ReplicaUpdate):
             self.apply_replica_update(payload)
         elif isinstance(payload, Heartbeat):
-            self.note_primary_heartbeat()
+            self._on_controller_heartbeat(payload)
         else:
             raise TypeError(
                 f"controller: unexpected payload {type(payload).__name__}"
@@ -158,8 +181,21 @@ class Controller(NetworkNode):
     def apply_replica_update(self, update) -> None:  # pragma: no cover
         """Only meaningful on a backup; see BackupController."""
 
-    def note_primary_heartbeat(self) -> None:  # pragma: no cover
-        """Only meaningful on a backup; see BackupController."""
+    def _on_controller_heartbeat(self, beat) -> None:
+        """Controller-to-controller liveness traffic.
+
+        On the primary the only expected beat is an active backup's
+        :data:`BACKUP_ACTIVE_HEARTBEAT_ID`: it means the backup took
+        over while we were dead, so we demote ourselves rather than run
+        two active controllers (split-brain).  The backup keeps the
+        leadership it claimed — the simplest policy with one transition.
+        """
+        if beat.cub_id == BACKUP_ACTIVE_HEARTBEAT_ID and self.active:
+            self.active = False
+            self.trace(
+                "failover",
+                "primary demoted itself after hearing active backup",
+            )
 
     def _on_client_start(self, request: ClientStart) -> None:
         self.cpu.add_busy(self.sim.now, self.config.cpu_per_request)

@@ -21,7 +21,7 @@ hallucination's invariants.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.config import TigerConfig
 from repro.core.deadman import DeadmanMonitor
@@ -29,7 +29,6 @@ from repro.core.protocol import (
     BlockData,
     block_pattern,
     CancelStart,
-    ClientStart,
     DescheduleForward,
     Heartbeat,
     PlayEnded,
@@ -49,14 +48,11 @@ from repro.core.viewerstate import (
     mirror_states_for,
 )
 from repro.disk.drive import SimDisk
-from repro.disk.zones import ZONE_INNER, ZONE_OUTER
 from repro.net.message import (
     BATCH_HEADER_BYTES,
     DESCHEDULE_BYTES,
     HEARTBEAT_BYTES,
-    KIND_CONTROL,
     KIND_DATA,
-    REQUEST_BYTES,
     VIEWER_STATE_BYTES,
     Message,
 )
@@ -125,10 +121,7 @@ class Cub(NetworkNode):
             hold_time=config.deschedule_hold,
             is_final=self._state_is_final,
         )
-        self.deadman = DeadmanMonitor(
-            cub_id, config.num_cubs, timeout=config.deadman_timeout
-        )
-        self.deadman.on_declare_failed.append(self._on_neighbour_declared_failed)
+        self.deadman = self._fresh_deadman()
 
         #: The cub's disks, keyed by global disk id.
         self.disks: Dict[int, SimDisk] = {
@@ -187,6 +180,16 @@ class Cub(NetworkNode):
     # ==================================================================
     # Lifecycle
     # ==================================================================
+    def _fresh_deadman(self) -> DeadmanMonitor:
+        monitor = DeadmanMonitor(
+            self.cub_id,
+            self.config.num_cubs,
+            timeout=self.config.deadman_timeout,
+            now=self.sim.now,
+        )
+        monitor.on_declare_failed.append(self._on_neighbour_declared_failed)
+        return monitor
+
     def start(self) -> None:
         """Begin heartbeating, pumping, and deadman checking."""
         if self._started:
@@ -204,6 +207,10 @@ class Cub(NetworkNode):
     def recover(self) -> None:
         """Power back on with empty protocol state (a rebooted machine)."""
         super().recover()
+        # A reboot forgets liveness history along with everything else;
+        # a fresh monitor seeded at the restart time grants neighbours a
+        # full timeout of grace instead of replaying pre-crash silence.
+        self.deadman = self._fresh_deadman()
         self._wait_queues.clear()
         self._scan_events.clear()
         self._forward_queue.clear()
@@ -212,6 +219,11 @@ class Cub(NetworkNode):
         self._redundant_requests.clear()
         self._ready_reads.clear()
         self._instance_events.clear()
+        # Service events were cancelled by fail(); drop their bookkeeping
+        # too, or the entries would linger as phantom slot ownership.
+        self._pending_service.clear()
+        self._aborted_service.clear()
+        self._recent_send_times.clear()
         self.start()
 
     # ==================================================================
@@ -262,6 +274,30 @@ class Cub(NetworkNode):
             self._bridge_state(state)
         else:
             self._redundant_states[state.key()] = state
+            if self.deadman.recently_resurrected(owner_cub, self.sim.now):
+                # Restart race: the sender routed around the owner while
+                # believing it dead, but our belief already flipped back
+                # to alive (its first heartbeat overtook the state batch
+                # on the wire).  Held passively, this state would orphan
+                # the viewer — the rebooted owner was never a
+                # destination.  Relay it; duplicate chains self-merge
+                # through the idempotence set.
+                self._relay_to_owner(owner_cub, state)
+
+    def _relay_to_owner(self, owner_cub: int, state: ViewerState) -> None:
+        """Hand a held state straight to its (resurrected) owner."""
+        self.trace(
+            "failover.relay",
+            f"relaying state to resurrected cub {owner_cub}",
+            viewer=state.viewer_id,
+            seqno=state.play_seqno,
+        )
+        batch = ViewerStateBatch((state,), ())
+        size = BATCH_HEADER_BYTES + VIEWER_STATE_BYTES
+        self.network.send(
+            Message(self.address, cub_address(owner_cub), batch, size)
+        )
+        self.cpu.add_busy(self.sim.now, self.config.cpu_per_control_msg)
 
     def _accept_own_state(self, state: ViewerState) -> None:
         """Serve and later forward a state targeted at one of my disks."""
@@ -455,6 +491,16 @@ class Cub(NetworkNode):
             advanced = advanced.advanced(1, self.layout.num_disks, bpt)
         if advanced.block_index >= num_blocks:
             self._finish_play(state)
+            return
+        owner = self.layout.cub_of_disk(advanced.disk_id)
+        if owner != self.cub_id and not self.deadman.believes_failed(owner):
+            # The chain re-enters living territory (e.g. the hop after a
+            # locally failed disk).  Re-injecting locally would park the
+            # state in the passive redundant store and orphan the viewer
+            # — the owner never received a copy.  Hand it over the wire.
+            self.view.admit(advanced, self.sim.now)
+            self._redundant_states[advanced.key()] = advanced
+            self._relay_to_owner(owner, advanced)
             return
         self._on_viewer_state(advanced)
 

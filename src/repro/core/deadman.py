@@ -26,6 +26,7 @@ class DeadmanMonitor:
         num_cubs: int,
         timeout: float,
         watch_distance: int = 2,
+        now: float = 0.0,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
@@ -35,8 +36,13 @@ class DeadmanMonitor:
         self.num_cubs = num_cubs
         self.timeout = timeout
         self._watched = self._neighbourhood(watch_distance)
-        self._last_heard: Dict[int, float] = {cub: 0.0 for cub in self._watched}
+        #: Seeded with the construction time, not 0.0: a monitor built
+        #: mid-run (a cub restarting after a crash) must grant every
+        #: neighbour a full timeout of grace before declaring it dead.
+        self._last_heard: Dict[int, float] = {cub: now for cub in self._watched}
         self._believed_failed: Set[int] = set()
+        #: When a believed-dead neighbour was last heard again.
+        self._resurrected_at: Dict[int, float] = {}
         #: Callbacks fired with (cub_id,) on a new death declaration.
         self.on_declare_failed: List[Callable[[int], None]] = []
         #: Callbacks fired with (cub_id,) when a dead cub is heard again.
@@ -63,6 +69,7 @@ class DeadmanMonitor:
         self._last_heard[from_cub] = now
         if from_cub in self._believed_failed:
             self._believed_failed.discard(from_cub)
+            self._resurrected_at[from_cub] = now
             for callback in self.on_declare_recovered:
                 callback(from_cub)
 
@@ -86,6 +93,22 @@ class DeadmanMonitor:
     def believes_failed(self, cub_id: int) -> bool:
         return cub_id in self._believed_failed
 
+    def recently_resurrected(
+        self, cub_id: int, now: float, window: Optional[float] = None
+    ) -> bool:
+        """Was ``cub_id`` heard again, after being believed dead, within
+        the last ``window`` seconds (default: the deadman timeout)?
+
+        Around a restart, beliefs across the ring converge at slightly
+        different instants; a viewer state addressed under the sender's
+        stale "dead" routing can reach cubs that already believe the
+        owner alive, and would otherwise be held passively while the
+        resurrected owner — who was not a destination — never hears of
+        it.  Callers use this predicate to relay such states onward.
+        """
+        horizon = now - (self.timeout if window is None else window)
+        return self._resurrected_at.get(cub_id, -float("inf")) >= horizon
+
     @property
     def believed_failed(self) -> frozenset:
         return frozenset(self._believed_failed)
@@ -101,9 +124,12 @@ class DeadmanMonitor:
         beliefs are local, exactly as §4's view model allows.
         """
         failed = self._believed_failed | (extra_failed or set())
-        for step in range(1, self.num_cubs):
+        for step in range(1, self.num_cubs + 1):
             candidate = (after + step) % self.num_cubs
-            if candidate not in failed:
+            if candidate == self.cub_id or candidate not in failed:
+                # Self is always alive from its own perspective — an
+                # isolated cub that believes the whole rest of the ring
+                # dead wraps around to itself rather than raising.
                 return candidate
         raise RuntimeError("no living cub found (whole ring believed dead)")
 

@@ -24,10 +24,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import TigerConfig
-from repro.core.controller import Controller, PlayRecord
+from repro.core.controller import (
+    BACKUP_ACTIVE_HEARTBEAT_ID,
+    CONTROLLER_ADDRESS,
+    Controller,
+    PlayRecord,
+)
 from repro.core.protocol import Heartbeat, ReplicaUpdate
 from repro.core.slots import SlotClock
-from repro.net.message import Message
+from repro.net.message import DESCHEDULE_BYTES, Message
 from repro.net.switch import SwitchedNetwork
 from repro.sim.core import Simulator
 from repro.sim.trace import Tracer
@@ -36,8 +41,9 @@ from repro.storage.layout import StripeLayout
 
 BACKUP_CONTROLLER_ADDRESS = "controller-backup"
 
-#: Sentinel "cub id" used in controller-to-controller heartbeats.
-CONTROLLER_HEARTBEAT_ID = -1
+#: Sentinel "cub id" used in controller-to-controller heartbeats
+#: (re-exported; defined next to the demote logic in controller.py).
+from repro.core.controller import CONTROLLER_HEARTBEAT_ID  # noqa: E402
 
 
 class BackupController(Controller):
@@ -68,15 +74,36 @@ class BackupController(Controller):
         self.every(config.heartbeat_interval, self._check_primary)
 
     # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Restart the primary watchdog after a crash of the backup."""
+        super().recover()
+        self._last_primary_heartbeat = self.sim.now
+        self.every(self.config.heartbeat_interval, self._check_primary)
+
+    # ------------------------------------------------------------------
+    def _on_controller_heartbeat(self, beat: Heartbeat) -> None:
+        if beat.cub_id == CONTROLLER_HEARTBEAT_ID:
+            self.note_primary_heartbeat()
+
     def note_primary_heartbeat(self) -> None:
         self._last_primary_heartbeat = self.sim.now
-        if self.active and self.took_over_at is not None:
-            # A resurrected primary does not reclaim leadership in this
-            # design; the backup stays active (simplest safe policy).
-            pass
+        # A resurrected primary does not reclaim leadership in this
+        # design; the backup stays active and keeps beaconing its
+        # activity so the primary demotes itself (split-brain fix).
 
     def _check_primary(self) -> None:
         if self.active:
+            # Advertise the takeover at the primary address every tick:
+            # a resurrected primary demotes itself on the first beacon
+            # it hears, so at most one controller admits viewers.
+            self.network.send(
+                Message(
+                    self.address,
+                    CONTROLLER_ADDRESS,
+                    Heartbeat(BACKUP_ACTIVE_HEARTBEAT_ID),
+                    DESCHEDULE_BYTES,
+                )
+            )
             return
         silence = self.sim.now - self._last_primary_heartbeat
         if silence > self.takeover_timeout:

@@ -9,7 +9,7 @@ control traffic from one particular cub to all others.  The
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 

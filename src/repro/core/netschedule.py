@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.net.message import RESERVATION_BYTES, Message
 from repro.net.node import NetworkNode

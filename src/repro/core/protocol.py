@@ -7,7 +7,7 @@ carry whatever the receiving protocol code needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.viewerstate import (

@@ -18,7 +18,7 @@ insert is legal only into a free slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class SlotConflictError(RuntimeError):

@@ -8,7 +8,7 @@ is the single entry point examples and benchmarks use.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.config import TigerConfig
 from repro.core.client import ViewerClient
@@ -158,6 +158,11 @@ class TigerSystem:
     def fail_controller(self) -> None:
         """Power off the primary controller (failover experiments)."""
         self.controller.fail()
+
+    def recover_controller(self) -> None:
+        """Resurrect the primary.  If a backup took over meanwhile, the
+        primary demotes itself on the backup's first active beacon."""
+        self.controller.recover()
 
     def add_clients(self, count: int) -> List[ViewerClient]:
         return [self.add_client() for _ in range(count)]

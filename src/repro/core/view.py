@@ -10,7 +10,7 @@ the view's size is bounded by the lead-time constants — the paper's
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.viewerstate import (
     DescheduleRequest,

@@ -41,6 +41,13 @@ class SimDisk(Process):
         self._free_at = sim.now
         self.busy = BusyMeter(sim.now)
         self.failed = False
+        #: Service-time multiplier (fault injection: transient slow
+        #: zones, thermal recalibration, vibration).  1.0 = healthy.
+        self.slow_factor = 1.0
+        #: While stuck, new reads queue without being serviced; they are
+        #: issued when the drive unsticks (or errored if it dies first).
+        self.stuck = False
+        self._stalled: List[tuple] = []
         self.reads_completed = Counter()
         self.bytes_read = Counter()
         self.reads_errored = Counter()
@@ -69,8 +76,14 @@ class SimDisk(Process):
             if on_error is not None:
                 self.sim.call_after(0.0, on_error)
             return
+        if self.stuck:
+            self._stalled.append((size_bytes, zone, on_complete, on_error))
+            return
 
-        service = self.params.sample_read_time(self._rng, zone, size_bytes)
+        service = (
+            self.params.sample_read_time(self._rng, zone, size_bytes)
+            * self.slow_factor
+        )
         start = max(self.sim.now, self._free_at)
         completion = start + service
         self._free_at = completion
@@ -105,11 +118,44 @@ class SimDisk(Process):
         self.trace("disk.fail", "drive failed")
         # In-flight completions still fire but route to the error path
         # via the `finish` closure checking `self.failed`.
+        stalled, self._stalled = self._stalled, []
+        for _size, _zone, _on_complete, on_error in stalled:
+            self.reads_errored.increment()
+            if on_error is not None:
+                self.sim.call_after(0.0, on_error)
 
     def recover(self) -> None:
         self.failed = False
         self._free_at = self.sim.now
         self.trace("disk.recover", "drive recovered")
+
+    # ------------------------------------------------------------------
+    # Degraded-mode injection (chaos harness)
+    # ------------------------------------------------------------------
+    def set_slow(self, factor: float) -> None:
+        """Multiply future read service times (transient slow zone)."""
+        if factor <= 0:
+            raise ValueError("slow factor must be positive")
+        self.slow_factor = float(factor)
+        self.trace("disk.slow", f"service multiplier now {factor:g}")
+
+    def set_stuck(self, stuck: bool) -> None:
+        """Freeze (or thaw) the request queue: a hung, not dead, drive.
+
+        New reads issued while stuck neither complete nor error; on
+        unstick they are issued in arrival order from the current time,
+        so their deadlines have typically long passed — exactly the
+        late-read pathology the schedule must absorb.
+        """
+        if stuck == self.stuck:
+            return
+        self.stuck = stuck
+        self.trace("disk.stuck" if stuck else "disk.unstuck",
+                   "I/O frozen" if stuck else "I/O resumed")
+        if not stuck:
+            stalled, self._stalled = self._stalled, []
+            for size_bytes, zone, on_complete, on_error in stalled:
+                self.read(size_bytes, zone, on_complete, on_error)
 
     # ------------------------------------------------------------------
     # Measurement

@@ -8,7 +8,7 @@ reconfiguration test cuts power mid-run at 50% load).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.sim.core import Simulator
 

@@ -1,0 +1,34 @@
+"""Chaos engineering for the Tiger reproduction.
+
+Declarative fault schedules (:mod:`repro.faults.plan`), the machinery
+that executes them against a live system (:mod:`repro.faults.injectors`),
+runtime invariant monitoring (:mod:`repro.faults.monitor`), and the
+end-to-end harness with deterministic replay fingerprints
+(:mod:`repro.faults.harness`).
+"""
+
+from repro.faults.harness import ChaosHarness, ChaosReport, standard_chaos_plan
+from repro.faults.injectors import (
+    DiskFaultInjector,
+    InstalledFaults,
+    MessageFaultInjector,
+    ProcessFaultInjector,
+    install_plan,
+)
+from repro.faults.monitor import InvariantMonitor, InvariantViolation
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosReport",
+    "DiskFaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InstalledFaults",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MessageFaultInjector",
+    "ProcessFaultInjector",
+    "install_plan",
+    "standard_chaos_plan",
+]

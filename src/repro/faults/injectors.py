@@ -1,0 +1,266 @@
+"""Executable fault machinery: turn a :class:`FaultPlan` into live hooks.
+
+Three injector classes, one per layer the plan can touch:
+
+* :class:`MessageFaultInjector` installs itself as the network's
+  ``fault_injector`` and perturbs every scheduled delivery while a
+  network fault window is open — dropping, delaying, duplicating, or
+  reordering messages.  All probability draws come from one named
+  :class:`~repro.sim.rng.RngRegistry` stream, so a chaos run replays
+  bit-identically for the same (seed, plan).
+* :class:`DiskFaultInjector` schedules slow zones, queue freezes, and
+  drive death/recovery against the right :class:`SimDisk`.
+* :class:`ProcessFaultInjector` schedules cub crashes/restarts and
+  controller kill/failback through :class:`TigerSystem`'s failure API,
+  so a crash takes the cub's disks with it exactly as in the paper's
+  machine-failure experiments.
+
+:func:`install_plan` dispatches a whole plan across the three and
+(optionally) tells an :class:`~repro.faults.monitor.InvariantMonitor`
+about every fault window so staleness-sensitive checks can open their
+grace periods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.faults.plan import (
+    CONTROLLER_KILL,
+    CONTROLLER_RECOVER,
+    CUB_CRASH,
+    CUB_RESTART,
+    DISK_FAIL,
+    DISK_RECOVER,
+    DISK_SLOW,
+    DISK_STUCK,
+    NET_DELAY,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_ISOLATE,
+    NET_PARTITION,
+    NET_REORDER,
+    FaultPlan,
+    FaultSpec,
+    parse_target,
+)
+
+#: Duplicates trail the original by up to this many seconds.
+_DUPLICATE_SPREAD = 0.005
+
+
+class MessageFaultInjector:
+    """In-fabric perturbation stage (see ``SwitchedNetwork.fault_injector``).
+
+    ``perturb(message, now, arrival)`` returns the list of arrival times
+    the fabric should honour: empty = dropped, one = (possibly shifted)
+    normal delivery, several = duplication.  Only windows containing
+    ``now`` apply, and specs are consulted in plan order, so the draw
+    sequence — hence the whole run — is deterministic.
+    """
+
+    def __init__(self, system: Any, plan: FaultPlan) -> None:
+        self.network = system.network
+        self._rng = system.rngs.stream(f"faults.{plan.name}.net")
+        self._drop = [e for e in plan.events if e.kind == NET_DROP]
+        self._delay = [e for e in plan.events if e.kind == NET_DELAY]
+        self._duplicate = [e for e in plan.events if e.kind == NET_DUPLICATE]
+        self._reorder = [e for e in plan.events if e.kind == NET_REORDER]
+        self.messages_seen = 0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+
+    def install(self) -> None:
+        if self.network.fault_injector is not None:
+            raise RuntimeError("network already has a fault injector")
+        self.network.fault_injector = self
+
+    @staticmethod
+    def _active(specs: List[FaultSpec], now: float) -> List[FaultSpec]:
+        return [spec for spec in specs if spec.start <= now < spec.end]
+
+    @staticmethod
+    def _kind_matches(spec: FaultSpec, message: Any) -> bool:
+        wanted_kind = spec.get("message_kind")
+        return wanted_kind is None or message.kind == wanted_kind
+
+    def perturb(self, message: Any, now: float, arrival: float) -> List[float]:
+        self.messages_seen += 1
+
+        for spec in self._active(self._drop, now):
+            if not self._kind_matches(spec, message):
+                continue
+            if self._rng.random() < spec.get("rate", 0.0):
+                self.messages_dropped += 1
+                return []
+
+        times = [arrival]
+        for spec in self._active(self._delay, now):
+            if not self._kind_matches(spec, message):
+                continue
+            extra = spec.get("extra", 0.0)
+            jitter = spec.get("jitter", 0.0)
+            if jitter > 0:
+                extra += self._rng.random() * jitter
+            times = [when + extra for when in times]
+            self.messages_delayed += 1
+
+        for spec in self._active(self._reorder, now):
+            if not self._kind_matches(spec, message):
+                continue
+            if self._rng.random() < spec.get("rate", 0.0):
+                # Push this arrival later so messages sent afterwards can
+                # overtake it — FIFO breaks without any global reshuffle.
+                shift = self._rng.random() * spec.get("shift", 0.0)
+                times = [when + shift for when in times]
+                self.messages_reordered += 1
+
+        for spec in self._active(self._duplicate, now):
+            if not self._kind_matches(spec, message):
+                continue
+            if self._rng.random() < spec.get("rate", 0.0):
+                times.append(times[0] + self._rng.random() * _DUPLICATE_SPREAD)
+                self.messages_duplicated += 1
+
+        return times
+
+
+class DiskFaultInjector:
+    """Schedules degraded-mode and death/recovery events on drives."""
+
+    def __init__(self, system: Any, plan: FaultPlan) -> None:
+        self.system = system
+        self.events = plan.disk_events()
+
+    def _disk(self, disk_id: int) -> Any:
+        cub = self.system.cubs[self.system.layout.cub_of_disk(disk_id)]
+        return cub.disks[disk_id]
+
+    def install(self) -> None:
+        sim = self.system.sim
+        for spec in self.events:
+            disk_id = parse_target(spec.target, "disk")
+            if spec.kind == DISK_SLOW:
+                factor = spec.get("factor", 1.0)
+                sim.call_at(spec.start, self._disk(disk_id).set_slow, factor)
+                sim.call_at(spec.end, self._disk(disk_id).set_slow, 1.0)
+            elif spec.kind == DISK_STUCK:
+                sim.call_at(spec.start, self._disk(disk_id).set_stuck, True)
+                sim.call_at(spec.end, self._disk(disk_id).set_stuck, False)
+            elif spec.kind == DISK_FAIL:
+                sim.call_at(spec.start, self.system.fail_disk, disk_id)
+            elif spec.kind == DISK_RECOVER:
+                sim.call_at(spec.start, self.system.recover_disk, disk_id)
+
+
+class ProcessFaultInjector:
+    """Schedules cub crash/restart and controller kill/failback."""
+
+    def __init__(self, system: Any, plan: FaultPlan) -> None:
+        self.system = system
+        self.events = plan.process_events()
+
+    def install(self) -> None:
+        sim = self.system.sim
+        for spec in self.events:
+            if spec.kind == CUB_CRASH:
+                cub_id = parse_target(spec.target, "cub")
+                sim.call_at(spec.start, self.system.fail_cub, cub_id)
+            elif spec.kind == CUB_RESTART:
+                cub_id = parse_target(spec.target, "cub")
+                sim.call_at(spec.start, self.system.recover_cub, cub_id)
+            elif spec.kind == CONTROLLER_KILL:
+                sim.call_at(spec.start, self.system.fail_controller)
+            elif spec.kind == CONTROLLER_RECOVER:
+                sim.call_at(spec.start, self.system.recover_controller)
+
+
+class _NetworkTopologyInjector:
+    """Schedules link partitions and port isolations on the switch."""
+
+    def __init__(self, system: Any, plan: FaultPlan) -> None:
+        self.network = system.network
+        self.sim = system.sim
+        self.events = [
+            e for e in plan.network_events()
+            if e.kind in (NET_PARTITION, NET_ISOLATE)
+        ]
+
+    def install(self) -> None:
+        for spec in self.events:
+            if spec.kind == NET_PARTITION:
+                src, dst = parse_target(spec.target, "link")
+                self.sim.call_at(spec.start, self.network.partition, src, dst)
+                self.sim.call_at(spec.end, self.network.heal, src, dst)
+            elif spec.kind == NET_ISOLATE:
+                address = parse_target(spec.target, "node")
+                self.sim.call_at(spec.start, self.network.isolate, address)
+                self.sim.call_at(spec.end, self.network.rejoin, address)
+
+
+class InstalledFaults:
+    """Handle returned by :func:`install_plan`: live injectors + stats."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        message_injector: Optional[MessageFaultInjector],
+        disk_injector: DiskFaultInjector,
+        process_injector: ProcessFaultInjector,
+        topology_injector: _NetworkTopologyInjector,
+    ) -> None:
+        self.plan = plan
+        self.message_injector = message_injector
+        self.disk_injector = disk_injector
+        self.process_injector = process_injector
+        self.topology_injector = topology_injector
+
+    def message_stats(self) -> Dict[str, int]:
+        inj = self.message_injector
+        if inj is None:
+            return {"seen": 0, "dropped": 0, "delayed": 0,
+                    "duplicated": 0, "reordered": 0}
+        return {
+            "seen": inj.messages_seen,
+            "dropped": inj.messages_dropped,
+            "delayed": inj.messages_delayed,
+            "duplicated": inj.messages_duplicated,
+            "reordered": inj.messages_reordered,
+        }
+
+
+def install_plan(
+    plan: FaultPlan, system: Any, monitor: Any = None
+) -> InstalledFaults:
+    """Arm every fault in ``plan`` against ``system``.
+
+    If ``monitor`` is given, every spec is reported via
+    ``monitor.note_fault(spec)`` so staleness-sensitive invariants open
+    grace windows around the fault activity.
+    """
+    needs_message_stage = any(
+        e.kind in (NET_DROP, NET_DELAY, NET_DUPLICATE, NET_REORDER)
+        for e in plan.events
+    )
+    message_injector = None
+    if needs_message_stage:
+        message_injector = MessageFaultInjector(system, plan)
+        message_injector.install()
+
+    disk_injector = DiskFaultInjector(system, plan)
+    disk_injector.install()
+    process_injector = ProcessFaultInjector(system, plan)
+    process_injector.install()
+    topology_injector = _NetworkTopologyInjector(system, plan)
+    topology_injector.install()
+
+    if monitor is not None:
+        for spec in plan.events:
+            monitor.note_fault(spec)
+
+    return InstalledFaults(
+        plan, message_injector, disk_injector, process_injector,
+        topology_injector,
+    )

@@ -1,0 +1,308 @@
+"""Runtime invariant monitoring for chaos runs.
+
+The :class:`InvariantMonitor` sweeps a running
+:class:`~repro.core.tiger.TigerSystem` and checks the executable form
+of the paper's correctness argument *while faults are active*, not just
+at the end of a test.  Checks fall into two classes:
+
+**Hard safety** — must hold at every instant, faults or not:
+
+* *oracle consistency*: the :class:`GlobalSchedule` hallucination has
+  at most one entry per slot and no play instance in two slots;
+* *no double ownership*: no two living cubs hold pending block service
+  for *different* play instances at the same slot visit (the §4.1.3
+  ownership protocol's whole purpose);
+* *delivery conservation*: for every viewer,
+  ``received + missed == next_seqno`` and ``corrupt == 0`` — every
+  block is accounted exactly once, and nothing cross-wired arrives.
+
+**Staleness-sensitive** — hold only once in-flight knowledge has had
+time to propagate, so they observe grace windows around fault activity
+(armed via :meth:`note_fault`):
+
+* *view coherence*: every play the oracle believes scheduled has a
+  witness in the union of living cubs' views (slot state, pending
+  service, forward queue, or redundant copy) — an unwitnessed play is
+  an orphan that will starve silently;
+* *stream liveness*: no unfinished viewer's next-block deadline is long
+  past (an undelivered-block leak), and no accepted start stays
+  serviceless forever;
+* *deadman convergence*: after quiescence, every living cub's liveness
+  beliefs about its watched neighbours match reality.
+
+A violation raises :class:`InvariantViolation` carrying a dump of the
+most recent trace records, so a chaos failure arrives with its own
+forensics attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.faults.plan import FaultSpec
+from repro.sim.trace import format_trace
+
+_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A chaos run broke one of the system's correctness invariants."""
+
+
+class InvariantMonitor:
+    """Periodic invariant sweeps over a live :class:`TigerSystem`."""
+
+    def __init__(
+        self,
+        system: Any,
+        period: float = 1.0,
+        trace_tail: int = 40,
+        startup_grace: float = 30.0,
+        stall_grace: Optional[float] = None,
+    ) -> None:
+        self.system = system
+        self.period = period
+        self.trace_tail = trace_tail
+        #: Longest a requested stream may stay serviceless in calm air.
+        self.startup_grace = startup_grace
+        config = system.config
+        #: How far past its deadline the next expected block may be.
+        self.stall_grace = (
+            stall_grace
+            if stall_grace is not None
+            else 3.0 * config.block_play_time + config.max_vstate_lead
+        )
+        #: Knowledge-propagation allowance for the view-coherence check.
+        self.view_grace = (
+            config.max_vstate_lead + 2.0 * config.forward_pump_interval + 1.0
+        )
+        #: Post-fault settling time before staleness-sensitive checks
+        #: re-arm: failure detection plus one full forwarding lead.
+        self.settle_margin = (
+            config.deadman_timeout + config.max_vstate_lead + 2.0
+        )
+        #: Grace windows (start, end) during which staleness-sensitive
+        #: checks stand down; hard safety checks never stand down.
+        self._relaxed_windows: List[Tuple[float, float]] = []
+        #: Deadman beliefs are only compared to reality after this time.
+        self._converge_after = 0.0
+        self.checks_run = 0
+        self._installed = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Fault awareness
+    # ------------------------------------------------------------------
+    def note_fault(self, spec: FaultSpec) -> None:
+        """Open a grace window around one scheduled fault."""
+        self._relaxed_windows.append(
+            (spec.start, spec.end + self.settle_margin)
+        )
+        self._converge_after = max(
+            self._converge_after, spec.end + self.settle_margin
+        )
+
+    def _relaxed(self, now: float) -> bool:
+        return any(
+            start <= now < end for start, end in self._relaxed_windows
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Start periodic sweeps (keeps one event permanently pending,
+        so drive the simulator with ``run(until=...)``)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.system.sim.call_after(self.period, self._sweep)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _sweep(self) -> None:
+        if self._stopped:
+            return
+        self.check_now()
+        self.system.sim.call_after(self.period, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Check battery
+    # ------------------------------------------------------------------
+    def check_now(self) -> None:
+        """One full sweep; raises :class:`InvariantViolation` on failure."""
+        now = self.system.sim.now
+        self.checks_run += 1
+        self._check_oracle(now)
+        self._check_slot_ownership(now)
+        self._check_delivery_conservation(now)
+        if not self._relaxed(now):
+            self._check_view_coherence(now)
+            self._check_stream_liveness(now)
+            if now >= self._converge_after:
+                self._check_deadman_convergence(now)
+
+    def final_check(self) -> None:
+        """End-of-run sweep.  Call *before* ``finalize_clients()`` —
+        finalize folds in-flight piece assemblies into the missed count
+        outside the ``next_seqno`` conservation ledger."""
+        self.check_now()
+
+    # ------------------------------------------------------------------
+    # Hard safety
+    # ------------------------------------------------------------------
+    def _check_oracle(self, now: float) -> None:
+        try:
+            self.system.oracle.assert_consistent()
+        except AssertionError as exc:
+            self._fail(now, "oracle", str(exc))
+
+    def _check_slot_ownership(self, now: float) -> None:
+        """No slot visit may be claimed by two different play instances.
+
+        Successive visits of one slot are exactly one block play time
+        apart, so two pending services for the same slot with due times
+        closer than that target the *same* visit — a double booking the
+        §4.1.3 ownership protocol must make impossible, even mid-fault.
+        """
+        bpt = self.system.config.block_play_time
+        claims: dict = {}
+        for cub in self.system.living_cubs():
+            for state in cub._pending_service.values():
+                if cub.view.has_tombstone(
+                    state.viewer_id, state.instance, state.slot
+                ):
+                    continue
+                claims.setdefault(state.slot, []).append(
+                    (state.viewer_id, state.instance, state.due_time, cub.cub_id)
+                )
+        for slot, entries in claims.items():
+            for i in range(len(entries)):
+                for j in range(i + 1, len(entries)):
+                    a, b = entries[i], entries[j]
+                    if (a[0], a[1]) == (b[0], b[1]):
+                        continue  # same play instance, successive blocks
+                    if abs(a[2] - b[2]) < bpt - _EPS:
+                        self._fail(
+                            now,
+                            "double-ownership",
+                            f"slot {slot}: {a[0]}#{a[1]} (cub {a[3]}, "
+                            f"due {a[2]:.3f}) vs {b[0]}#{b[1]} "
+                            f"(cub {b[3]}, due {b[2]:.3f})",
+                        )
+
+    def _check_delivery_conservation(self, now: float) -> None:
+        for client in self.system.clients:
+            for monitor in client.all_monitors():
+                if monitor.blocks_corrupt:
+                    self._fail(
+                        now,
+                        "corruption",
+                        f"{monitor.viewer_id} received "
+                        f"{monitor.blocks_corrupt} cross-wired blocks",
+                    )
+                if (
+                    monitor.blocks_received + monitor.blocks_missed
+                    != monitor.next_seqno
+                ):
+                    self._fail(
+                        now,
+                        "conservation",
+                        f"{monitor.viewer_id}: received "
+                        f"{monitor.blocks_received} + missed "
+                        f"{monitor.blocks_missed} != next_seqno "
+                        f"{monitor.next_seqno}",
+                    )
+                if monitor.next_seqno > monitor.expected_total:
+                    self._fail(
+                        now,
+                        "conservation",
+                        f"{monitor.viewer_id}: next_seqno "
+                        f"{monitor.next_seqno} beyond expected "
+                        f"{monitor.expected_total} blocks",
+                    )
+
+    # ------------------------------------------------------------------
+    # Staleness-sensitive
+    # ------------------------------------------------------------------
+    def _check_view_coherence(self, now: float) -> None:
+        living = self.system.living_cubs()
+        for slot in self.system.oracle.occupied_slots():
+            entry = self.system.oracle.occupant(slot)
+            if entry is None or now - entry.inserted_at < self.view_grace:
+                continue
+            if not self._has_witness(living, slot, entry):
+                self._fail(
+                    now,
+                    "view-coherence",
+                    f"slot {slot} occupant {entry.viewer_id}"
+                    f"#{entry.instance} has no witness in any living "
+                    f"cub's view (orphaned play)",
+                )
+
+    @staticmethod
+    def _has_witness(living: List[Any], slot: int, entry: Any) -> bool:
+        ident = (entry.viewer_id, entry.instance)
+        for cub in living:
+            state = cub.view.state_for_slot(slot)
+            if state is not None and (state.viewer_id, state.instance) == ident:
+                return True
+            for pending in cub._pending_service.values():
+                if (pending.viewer_id, pending.instance) == ident:
+                    return True
+            for queued in cub._forward_queue:
+                if (queued.viewer_id, queued.instance) == ident:
+                    return True
+            for held in cub._redundant_states.values():
+                if (held.viewer_id, held.instance) == ident:
+                    return True
+        return False
+
+    def _check_stream_liveness(self, now: float) -> None:
+        for client in self.system.clients:
+            for monitor in client.all_monitors():
+                if monitor.finished or monitor.stopped:
+                    continue
+                if monitor.first_block_time is None:
+                    if now - monitor.request_time > self.startup_grace:
+                        self._fail(
+                            now,
+                            "stream-liveness",
+                            f"{monitor.viewer_id} requested at "
+                            f"{monitor.request_time:.3f} never received "
+                            f"a first block",
+                        )
+                    continue
+                deadline = monitor.deadline(monitor.next_seqno)
+                if now > deadline + self.stall_grace:
+                    self._fail(
+                        now,
+                        "stream-liveness",
+                        f"{monitor.viewer_id} stalled: block "
+                        f"{monitor.next_seqno} due {deadline:.3f}, "
+                        f"nothing since (undelivered-block leak)",
+                    )
+
+    def _check_deadman_convergence(self, now: float) -> None:
+        for cub in self.system.living_cubs():
+            for watched in cub.deadman.watched:
+                believed = cub.deadman.believes_failed(watched)
+                actual = self.system.cubs[watched].failed
+                if believed != actual:
+                    self._fail(
+                        now,
+                        "deadman-convergence",
+                        f"cub {cub.cub_id} believes cub {watched} "
+                        f"{'dead' if believed else 'alive'} but it is "
+                        f"{'dead' if actual else 'alive'}",
+                    )
+
+    # ------------------------------------------------------------------
+    def _fail(self, now: float, check: str, detail: str) -> None:
+        tail = list(self.system.tracer.records)[-self.trace_tail:]
+        dump = format_trace(tail) if tail else "(tracing disabled)"
+        raise InvariantViolation(
+            f"[{check}] violated at t={now:.3f}: {detail}\n"
+            f"--- last {len(tail)} trace records ---\n{dump}"
+        )

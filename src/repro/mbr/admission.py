@@ -16,8 +16,8 @@ and reports which resource is binding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.netschedule import NetworkSchedule
 from repro.disk.model import DiskParameters

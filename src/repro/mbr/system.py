@@ -14,13 +14,13 @@ rotation argument that load-balances the single-bitrate system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.disk.drive import SimDisk
 from repro.disk.model import DiskParameters
 from repro.disk.zones import ZONE_OUTER
-from repro.mbr.admission import AdmittedStream, MbrAdmission
+from repro.mbr.admission import MbrAdmission
 from repro.mbr.diskqueue import EdfDiskQueue
 from repro.sim.core import Simulator
 from repro.sim.process import Process

@@ -50,7 +50,13 @@ class SwitchedNetwork:
         self._nics: Dict[str, Nic] = {}
         self._last_arrival: Dict[Tuple[str, str], float] = {}
         self._partitioned: Set[Tuple[str, str]] = set()
+        self._isolated: Set[str] = set()
         self._delivery_hooks: list = []
+        #: Optional in-fabric fault stage (see repro.faults.injectors):
+        #: an object with ``perturb(message, now, arrival) -> [times]``.
+        #: Returning no times drops the message; several duplicate it;
+        #: shifted times model delay and reordering.
+        self.fault_injector = None
         # Traffic accounting, per node and kind — feeds the Fig 8/9
         # "control traffic" series and the §3.3 scalability table.
         self.control_bytes_from: Dict[str, RateMeter] = {}
@@ -83,6 +89,33 @@ class SwitchedNetwork:
     def heal(self, src: str, dst: str) -> None:
         self._partitioned.discard((src, dst))
 
+    def isolate(self, address: str) -> None:
+        """Port partition: drop all traffic to *and* from ``address``."""
+        self._isolated.add(address)
+
+    def rejoin(self, address: str) -> None:
+        self._isolated.discard(address)
+
+    def _link_blocked(self, message: Message) -> bool:
+        return (
+            (message.src, message.dst) in self._partitioned
+            or message.src in self._isolated
+            or message.dst in self._isolated
+        )
+
+    def _schedule_delivery(self, message: Message, arrival: float) -> bool:
+        """Final fabric stage: apply the fault injector, then enqueue."""
+        if self.fault_injector is None:
+            self.sim.call_at(arrival, self._deliver, message)
+            return True
+        arrivals = self.fault_injector.perturb(message, self.sim.now, arrival)
+        if not arrivals:
+            self.messages_dropped += 1
+            return False
+        for when in arrivals:
+            self.sim.call_at(max(when, self.sim.now), self._deliver, message)
+        return True
+
     def add_delivery_hook(self, hook: Callable[[Message, float], None]) -> None:
         """Observe every successful delivery (message, arrival_time)."""
         self._delivery_hooks.append(hook)
@@ -102,7 +135,7 @@ class SwitchedNetwork:
             raise KeyError(f"unknown source address {message.src!r}")
         if message.dst not in self._nodes:
             raise KeyError(f"unknown destination address {message.dst!r}")
-        if src_node.failed or (message.src, message.dst) in self._partitioned:
+        if src_node.failed or self._link_blocked(message):
             self.messages_dropped += 1
             return False
 
@@ -121,8 +154,7 @@ class SwitchedNetwork:
         elif message.kind == KIND_DATA:
             self.data_bytes_from[message.src].add(message.size_bytes)
 
-        self.sim.call_at(arrival, self._deliver, message)
-        return True
+        return self._schedule_delivery(message, arrival)
 
     def send_paced(self, message: Message, pacing_duration: float) -> bool:
         """Inject a stream-paced data message.
@@ -141,7 +173,7 @@ class SwitchedNetwork:
             raise KeyError(f"unknown source address {message.src!r}")
         if message.dst not in self._nodes:
             raise KeyError(f"unknown destination address {message.dst!r}")
-        if src_node.failed or (message.src, message.dst) in self._partitioned:
+        if src_node.failed or self._link_blocked(message):
             self.messages_dropped += 1
             return False
 
@@ -161,8 +193,7 @@ class SwitchedNetwork:
         elif message.kind == KIND_DATA:
             self.data_bytes_from[message.src].add(message.size_bytes)
 
-        self.sim.call_at(arrival, self._deliver, message)
-        return True
+        return self._schedule_delivery(message, arrival)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)

@@ -129,7 +129,10 @@ class Simulator:
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so back-to-back ``run``
-        calls observe a monotonic clock.
+        calls observe a monotonic clock.  The advance is skipped only
+        when active events earlier than ``until`` remain undispatched
+        (a ``max_events`` or ``stop()`` exit): jumping over them would
+        make the next ``run`` move the clock backwards.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
@@ -139,7 +142,7 @@ class Simulator:
         try:
             while not self._stopped:
                 if max_events is not None and dispatched >= max_events:
-                    return
+                    break
                 next_time = self.peek_time()
                 if next_time is None:
                     break
@@ -147,7 +150,13 @@ class Simulator:
                     break
                 self.step()
                 dispatched += 1
-            if until is not None and self._now < until and not self._stopped:
+            pending = self.peek_time()
+            if (
+                until is not None
+                and self._now < until
+                and not self._stopped
+                and (pending is None or pending > until)
+            ):
                 self._now = until
         finally:
             self._running = False

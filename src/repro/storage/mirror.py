@@ -14,7 +14,7 @@ slow inner half (see :mod:`repro.disk.zones`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from repro.storage.layout import StripeLayout
 

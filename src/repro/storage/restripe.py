@@ -12,7 +12,7 @@ bandwidth grows with the system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.storage.catalog import TigerFile
 from repro.storage.layout import StripeLayout

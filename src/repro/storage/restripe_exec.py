@@ -13,12 +13,11 @@ own disks and its own switch port.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.sim.core import Simulator
 from repro.sim.stats import BusyMeter
-from repro.storage.layout import StripeLayout
-from repro.storage.restripe import BlockMove, RestripePlan
+from repro.storage.restripe import RestripePlan
 
 
 @dataclass

@@ -10,7 +10,7 @@ chosen file from the same client.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.client import StreamMonitor, ViewerClient
 from repro.core.tiger import TigerSystem

@@ -13,10 +13,9 @@ place whole movies per machine must buy back with replicas.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.core.tiger import TigerSystem
 from repro.workloads.generator import ContinuousWorkload

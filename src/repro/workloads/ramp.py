@@ -10,7 +10,7 @@ configurable (shorter, for simulation) per-step wait.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.metrics import MetricsCollector, SystemSample
 from repro.core.tiger import TigerSystem

@@ -11,7 +11,7 @@ full schedule revolution (56 s in the paper's system).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.tiger import TigerSystem
 from repro.workloads.generator import ContinuousWorkload

@@ -1,0 +1,108 @@
+"""Tests for the chaos harness and replay fingerprints."""
+
+import pytest
+
+from repro import small_config
+from repro.faults import ChaosHarness, FaultPlan, standard_chaos_plan
+from repro.faults.plan import (
+    CONTROLLER_KILL,
+    CONTROLLER_RECOVER,
+    CUB_CRASH,
+    CUB_RESTART,
+    NET_DROP,
+)
+
+DURATION = 40.0
+
+
+def small_plan():
+    return (
+        FaultPlan(name="test-mix")
+        .drop_messages(0.01, start=5.0, duration=20.0, kind="data")
+        .crash_cub(1, at=15.0, restart_after=8.0)
+    )
+
+
+def run(seed, plan=None):
+    harness = ChaosHarness(
+        small_config(),
+        plan if plan is not None else small_plan(),
+        seed=seed,
+        load=0.4,
+        duration=DURATION,
+    )
+    return harness.run()
+
+
+class TestHarness:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ChaosHarness(small_config(), FaultPlan(), load=0.0)
+        with pytest.raises(ValueError):
+            ChaosHarness(small_config(), FaultPlan(), duration=-1.0)
+
+    def test_run_produces_report(self):
+        report = run(seed=0)
+        assert report.checks_run >= DURATION - 2
+        assert report.totals["client_received"] > 100
+        assert report.totals["client_corrupt"] == 0
+        assert report.message_stats["seen"] > 0
+        assert len(report.fingerprint) == 64
+        joined = "\n".join(report.lines())
+        assert report.fingerprint in joined
+        assert "violations: 0" in joined
+
+    def test_same_seed_replays_bit_identically(self):
+        """The determinism acceptance criterion: identical inputs must
+        reproduce the identical observable outcome."""
+        first = run(seed=3)
+        second = run(seed=3)
+        assert first.fingerprint == second.fingerprint
+        assert first.totals == second.totals
+
+    def test_different_seeds_diverge(self):
+        assert run(seed=0).fingerprint != run(seed=1).fingerprint
+
+
+class TestChainLivenessRegressions:
+    """End-to-end regressions for two chain-death bugs the invariant
+    monitor originally caught (each failed as a liveness violation)."""
+
+    def test_disk_death_hands_chain_to_living_neighbour(self):
+        """A block covered on a locally failed disk must still forward
+        its chain to the *living* cub owning the next disk — the
+        advanced state used to be parked passively and orphan the
+        viewer."""
+        plan = FaultPlan(name="disk-death").fail_disk(
+            6, at=10.0, recover_after=10.0
+        )
+        for seed in (0, 1):
+            report = run(seed=seed, plan=plan)
+            assert report.totals["client_received"] > 100
+
+    def test_cub_restart_race_relays_held_state(self):
+        """A restarted cub's first heartbeat can overtake the state
+        batch rerouted around it; receivers that already flipped back
+        to 'alive' must relay the held state to the owner instead of
+        sitting on it."""
+        plan = FaultPlan(name="restart").crash_cub(
+            1, at=15.0, restart_after=10.0
+        )
+        for seed in (0, 2):
+            harness = ChaosHarness(
+                small_config(), plan, seed=seed, load=0.5, duration=65.0
+            )
+            report = harness.run()
+            assert report.totals["client_received"] > 100
+
+
+class TestStandardPlan:
+    def test_contains_acceptance_fault_mix(self):
+        plan = standard_chaos_plan(duration=120.0, drop_rate=0.01)
+        kinds = [event.kind for event in plan.events]
+        assert NET_DROP in kinds
+        assert CUB_CRASH in kinds and CUB_RESTART in kinds
+        assert CONTROLLER_KILL in kinds and CONTROLLER_RECOVER in kinds
+        drop = next(e for e in plan.events if e.kind == NET_DROP)
+        assert drop.get("rate") == pytest.approx(0.01)
+        assert drop.get("message_kind") == "data"

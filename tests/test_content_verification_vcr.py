@@ -1,6 +1,5 @@
 """Content verification and VCR pause/resume."""
 
-import pytest
 
 from repro import TigerSystem, small_config
 from repro.core.protocol import BlockData, block_pattern

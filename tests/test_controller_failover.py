@@ -7,7 +7,6 @@ client retry, and the property the paper promises — running streams
 never depend on the controller at all.
 """
 
-import pytest
 
 from repro import TigerSystem, small_config
 from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
@@ -126,4 +125,35 @@ class TestTakeover:
         system.run_for(25.0)
         assert system.oracle.num_occupied == 1
         assert client.streams[instance].blocks_received > 5
+        system.assert_invariants()
+
+
+class TestSplitBrain:
+    def test_resurrected_primary_demotes_itself(self):
+        """Regression: after a takeover, a rebooted primary must hear
+        the backup's active beacons and stand down — never two active
+        controllers."""
+        system = build()
+        system.run_for(5.0)
+        system.fail_controller()
+        system.run_for(6.0)  # takeover_timeout=3.0: backup goes active
+        assert system.backup_controller.active
+        system.recover_controller()
+        assert system.controller.active  # reboots believing it leads
+        system.run_for(2.0)  # one beacon interval is enough
+        assert not system.controller.active
+        assert system.backup_controller.active
+
+    def test_no_double_admission_after_failback(self):
+        system = build()
+        system.run_for(5.0)
+        system.fail_controller()
+        system.run_for(6.0)
+        system.recover_controller()
+        system.run_for(2.0)
+        client = system.add_client()
+        instance = client.start_stream(file_id=1)
+        system.run_for(10.0)
+        assert system.oracle.num_occupied == 1
+        assert client.streams[instance].blocks_received > 3
         system.assert_invariants()

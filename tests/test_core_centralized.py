@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import small_config
 from repro.core.centralized import (
-    COMMAND_BYTES,
     CentralizedController,
     CommandCub,
     central_control_rate,
@@ -14,8 +13,6 @@ from repro.core.centralized import (
 from repro.core.slots import SlotClock
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
-from repro.sim.core import Simulator
-from repro.sim.rng import RngRegistry
 from repro.storage.catalog import Catalog
 from repro.storage.layout import StripeLayout
 

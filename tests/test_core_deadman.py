@@ -81,3 +81,47 @@ class TestRouting:
         monitor = DeadmanMonitor(cub_id=0, num_cubs=3, timeout=1.0)
         assert set(monitor.watched) == {1, 2}
         assert monitor.living_successors(2) == (1, 2)
+
+
+class TestLateConstruction:
+    def test_construction_time_seeds_last_heard(self):
+        """Regression: a monitor built mid-run (cub restart) must grant
+        every neighbour a full timeout before declaring it dead."""
+        monitor = DeadmanMonitor(cub_id=5, num_cubs=14, timeout=6.0, now=100.0)
+        assert monitor.check(now=105.0) == ()
+        declared = monitor.check(now=107.0)
+        assert set(declared) == set(monitor.watched)
+
+
+class TestResurrection:
+    def test_recently_resurrected_window(self):
+        monitor = DeadmanMonitor(cub_id=5, num_cubs=14, timeout=6.0)
+        monitor.note_heartbeat(4, now=1.0)
+        monitor.check(now=8.0)
+        assert monitor.believes_failed(4)
+        monitor.note_heartbeat(4, now=9.0)
+        assert monitor.recently_resurrected(4, now=9.5)
+        assert monitor.recently_resurrected(4, now=14.9)
+        assert not monitor.recently_resurrected(4, now=15.1)
+        assert not monitor.recently_resurrected(4, now=9.5, window=0.1)
+
+    def test_never_resurrected_cub(self):
+        monitor = DeadmanMonitor(cub_id=5, num_cubs=14, timeout=6.0)
+        monitor.note_heartbeat(4, now=1.0)
+        assert not monitor.recently_resurrected(4, now=2.0)
+
+
+class TestRingExhaustion:
+    def test_next_living_cub_wraps_to_self(self):
+        """Regression: an isolated cub that believes the whole rest of
+        the ring dead is still alive itself — routing falls back to self
+        instead of raising."""
+        monitor = DeadmanMonitor(cub_id=1, num_cubs=4, timeout=6.0)
+        monitor.check(now=10.0)  # silence everywhere -> all watched dead
+        assert set(monitor.believed_failed) == {0, 2, 3}
+        assert monitor.next_living_cub(1) == 1
+        assert monitor.living_successors(2) == ()
+
+    def test_wrap_prefers_living_cubs_over_self(self):
+        monitor = DeadmanMonitor(cub_id=1, num_cubs=4, timeout=6.0)
+        assert monitor.next_living_cub(1, extra_failed={2, 3}) == 0

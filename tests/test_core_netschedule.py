@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.netschedule import NetScheduleNode, NetworkSchedule
 from repro.net.switch import SwitchedNetwork
-from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 
 LENGTH = 14.0  # 14 cubs x 1 s block play time

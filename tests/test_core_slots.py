@@ -90,7 +90,6 @@ class TestVisits:
         assert clock.visit_time(0, 5, after=0.0) == pytest.approx(5 * bst)
 
     def test_visit_time_respects_after(self, clock):
-        bst = clock.block_service_time
         first = clock.visit_time(0, 5, after=0.0)
         later = clock.visit_time(0, 5, after=first + 0.001)
         assert later == pytest.approx(first + clock.duration)

@@ -11,7 +11,6 @@ from repro.disk.model import (
     worst_case_streams_per_disk,
 )
 from repro.disk.zones import ULTRASTAR_LIKE, ZONE_INNER, ZONE_OUTER, ZoneGeometry
-from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 
 

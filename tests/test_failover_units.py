@@ -3,7 +3,6 @@
 import pytest
 
 from repro import TigerSystem, small_config
-from repro.core.failover import BackupController
 from repro.core.protocol import ReplicaUpdate
 
 

@@ -96,7 +96,7 @@ class TestCubEdgeCases:
         """A rebooted cub still has its disks' contents (the index is
         rebuilt from stable storage in real life; here it is shared)."""
         system = TigerSystem(small_config(), seed=48)
-        entry = system.add_file("movie", duration_s=60)
+        system.add_file("movie", duration_s=60)
         system.start()
         system.fail_cub(1)
         system.run_for(5.0)

@@ -1,8 +1,6 @@
 """Integration tests for stop-play / deschedule (§4.1.2)."""
 
-import pytest
 
-from repro import TigerSystem, small_config
 
 
 class TestStopPlaying:

@@ -1,6 +1,5 @@
 """Integration tests for fault tolerance (§2.3, §4.1.1)."""
 
-import pytest
 
 from repro import TigerSystem, small_config
 
@@ -18,7 +17,6 @@ def build_loaded(seed=9, streams=12, duration=240.0):
 class TestCubFailure:
     def test_streams_continue_via_mirrors(self):
         system, client = build_loaded()
-        baseline_missed = system.total_client_missed()
         system.fail_cub(1)
         system.run_for(40.0)
         system.finalize_clients()
@@ -50,7 +48,6 @@ class TestCubFailure:
         system, client = build_loaded()
         system.fail_cub(1)
         system.run_for(20.0)  # detection + settling
-        before = system.total_client_missed()
         counted = {
             monitor.instance: monitor.blocks_missed
             for monitor in client.all_monitors()

@@ -6,8 +6,6 @@ from repro.net.message import KIND_DATA, Message
 from repro.net.nic import Nic
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
-from repro.sim.core import Simulator
-from repro.sim.rng import RngRegistry
 
 
 class Sink(NetworkNode):

@@ -1,6 +1,5 @@
 """Tests for wire payloads and the EXPERIMENTS.md report generator."""
 
-import os
 
 import pytest
 

@@ -7,7 +7,6 @@ propagation distance, heartbeat cadence.
 
 import doctest
 
-import pytest
 
 import repro
 from repro import TigerSystem, small_config

@@ -133,6 +133,26 @@ class TestRunControl:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_until_with_max_events_keeps_clock_monotonic(self, sim):
+        """Regression: a ``max_events`` exit must not jump the clock to
+        ``until`` while earlier events are still pending — the next run
+        would otherwise move time backwards."""
+        fired = []
+        for tag in range(5):
+            sim.call_after(float(tag + 1), fired.append, tag)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == pytest.approx(2.0)
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == pytest.approx(10.0)
+
+    def test_stop_with_until_does_not_advance_clock(self, sim):
+        sim.call_after(1.0, sim.stop)
+        sim.call_after(5.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == pytest.approx(1.0)
+
     def test_stop_aborts_run(self, sim):
         fired = []
         sim.call_after(1.0, fired.append, "a")

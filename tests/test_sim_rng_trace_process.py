@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.core import Simulator
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer, format_trace

@@ -1,6 +1,5 @@
 """Tests for the measurement primitives."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

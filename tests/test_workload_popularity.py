@@ -3,7 +3,6 @@
 import pytest
 
 from repro import TigerSystem, small_config
-from repro.sim.rng import RngRegistry
 from repro.workloads.popularity import (
     SkewReport,
     ZipfSelector,

@@ -1,0 +1,31 @@
+"""Sphinx configuration for the observability API reference.
+
+Build with ``sphinx-build -W -b html docs docs/_build`` (warnings are
+errors in CI; see .github/workflows/ci.yml).  Only the observability
+surface is documented here — the rest of the reproduction documents
+itself in the top-level Markdown files.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src")))
+
+project = "tiger-repro"
+author = "tiger-repro contributors"
+copyright = "2026, tiger-repro contributors"  # noqa: A001
+
+extensions = ["sphinx.ext.autodoc"]
+
+master_doc = "index"
+exclude_patterns = ["_build"]
+
+autodoc_member_order = "bysource"
+autodoc_typehints = "description"
+
+# Cross-references into modules outside the documented set (e.g.
+# repro.core.tiger) intentionally stay unresolved; keep nitpick off so
+# -W only enforces real problems (syntax, import failures, duplicates).
+nitpicky = False
+
+html_theme = "alabaster"

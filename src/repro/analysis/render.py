@@ -98,6 +98,47 @@ def render_network_schedule(
     return "\n".join(rows)
 
 
+def render_metrics_table(snapshot: Dict[str, dict]) -> str:
+    """Tabulate a :meth:`MetricsRegistry.snapshot` for the terminal.
+
+    :param snapshot: The dict produced by
+        :meth:`repro.obs.registry.MetricsRegistry.snapshot`.
+    :returns: An aligned ``name{labels}  value unit`` table, one row
+        per series, families in sorted-name order.
+    """
+    rows: List[tuple] = []
+    for name, family in sorted(snapshot.items()):
+        for series in family["series"]:
+            labels = series["labels"]
+            label_text = (
+                "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                + "}"
+                if labels
+                else ""
+            )
+            value = series["value"]
+            if isinstance(value, dict):  # histogram summary
+                value_text = (
+                    f"n={value['count']} mean={value['mean']:.4g} "
+                    f"p50={value['p50']:.4g} p95={value['p95']:.4g} "
+                    f"max={value['max']:.4g}"
+                )
+            elif isinstance(value, float):
+                value_text = f"{value:.6g}"
+            else:
+                value_text = str(value)
+            rows.append((name + label_text, value_text, family["unit"]))
+    if not rows:
+        return "(no metrics recorded)"
+    name_width = max(len(row[0]) for row in rows)
+    value_width = max(len(row[1]) for row in rows)
+    return "\n".join(
+        f"{name:<{name_width}}  {value:>{value_width}}  {unit}".rstrip()
+        for name, value, unit in rows
+    )
+
+
 def render_view_summary(system: "object") -> str:
     """One line per cub: where its pointers are and what it knows —
     the textual form of the paper's Figure 7 comparison of views."""

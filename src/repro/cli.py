@@ -9,15 +9,25 @@ Subcommands:
 * ``capacity`` — print the derived capacity numbers for a configuration;
 * ``chaos``    — run a fault-injection soak under the runtime invariant
                  monitor and print the deterministic replay fingerprint;
+* ``trace``    — run the failover drill with tracing on and export a
+                 Chrome ``trace_event`` file (open in about://tracing);
+* ``metrics``  — run a workload and print/export the metrics registry;
 * ``report``   — regenerate EXPERIMENTS.md from benchmark results.
+
+``demo`` and ``chaos`` also accept ``--trace PATH`` (Chrome JSON by
+default, JSONL when the path ends in ``.jsonl``) and ``--metrics-out
+PATH`` (registry snapshot JSON).  See ``docs/OBSERVABILITY.md`` for the
+full name inventory.
 
 Usage::
 
-    python -m repro.cli demo --streams 12 --seconds 30
-    python -m repro.cli failover --load 0.5
-    python -m repro.cli capacity --cubs 14 --disks 4
-    python -m repro.cli chaos --seconds 90 --drop-rate 0.01
-    python -m repro.cli report
+    python -m repro demo --streams 12 --seconds 30
+    python -m repro failover --load 0.5
+    python -m repro capacity --cubs 14 --disks 4
+    python -m repro chaos --seconds 90 --drop-rate 0.01 --trace out.json
+    python -m repro trace --out failover.json
+    python -m repro metrics --seconds 60 --profile
+    python -m repro report
 """
 
 from __future__ import annotations
@@ -26,13 +36,47 @@ import argparse
 from typing import List, Optional
 
 from repro import TigerSystem, TigerConfig, paper_config, small_config
-from repro.analysis.render import render_disk_schedule, render_view_summary
+from repro.analysis.render import (
+    render_disk_schedule,
+    render_metrics_table,
+    render_view_summary,
+)
+from repro.obs import EventLoopProfiler, write_trace
+from repro.sim.trace import Tracer
 from repro.workloads import ContinuousWorkload
 
+#: Ring capacity used for CLI-requested traces: big enough that a
+#: default-length run exports complete, not a truncated tail.
+CLI_TRACE_CAPACITY = 2_000_000
 
-def _build_system(args) -> TigerSystem:
+
+def _make_tracer(args) -> Optional[Tracer]:
+    """A capture tracer when ``--trace`` was given, else None."""
+    if getattr(args, "trace", None) is None:
+        return None
+    tracer = Tracer(capacity=CLI_TRACE_CAPACITY)
+    tracer.enable()
+    return tracer
+
+
+def _export_trace(path: str, tracer: Tracer) -> None:
+    written = write_trace(path, tracer.records)
+    fmt = "jsonl" if path.endswith(".jsonl") else "chrome"
+    dropped = f" ({tracer.dropped} dropped at capacity)" if tracer.dropped else ""
+    print(f"wrote {written} trace records to {path} [{fmt}]{dropped}")
+
+
+def _export_metrics(path: str, system: TigerSystem) -> None:
+    registry = system.export_metrics()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_json())
+        handle.write("\n")
+    print(f"wrote {len(registry.names())} metric families to {path}")
+
+
+def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
     config = paper_config() if args.paper else small_config()
-    system = TigerSystem(config, seed=args.seed)
+    system = TigerSystem(config, seed=args.seed, tracer=tracer)
     system.add_standard_content(
         num_files=args.files, duration_s=args.file_seconds
     )
@@ -40,7 +84,8 @@ def _build_system(args) -> TigerSystem:
 
 
 def cmd_demo(args) -> int:
-    system = _build_system(args)
+    tracer = _make_tracer(args)
+    system = _build_system(args, tracer=tracer)
     workload = ContinuousWorkload(system)
     workload.add_streams(args.streams)
     system.run_for(args.seconds)
@@ -66,6 +111,10 @@ def cmd_demo(args) -> int:
     print()
     print(render_view_summary(system))
     system.assert_invariants()
+    if tracer is not None:
+        _export_trace(args.trace, tracer)
+    if args.metrics_out is not None:
+        _export_metrics(args.metrics_out, system)
     return 0
 
 
@@ -140,6 +189,7 @@ def cmd_chaos(args) -> int:
     print("fault plan:")
     print(plan.describe())
     print()
+    tracer = _make_tracer(args)
     harness = ChaosHarness(
         config,
         plan,
@@ -148,14 +198,90 @@ def cmd_chaos(args) -> int:
         duration=args.seconds,
         num_files=args.files,
         file_seconds=args.file_seconds,
+        tracer=tracer,
     )
     try:
         report = harness.run()
     except InvariantViolation as violation:
         print(f"INVARIANT VIOLATION\n{violation}")
+        # Export whatever was captured anyway: a violated run is
+        # exactly when the forensics matter most.
+        if tracer is not None:
+            _export_trace(args.trace, tracer)
+        if args.metrics_out is not None and harness.system is not None:
+            _export_metrics(args.metrics_out, harness.system)
         return 1
     for line in report.lines():
         print(line)
+    if tracer is not None:
+        _export_trace(args.trace, tracer)
+    if args.metrics_out is not None:
+        _export_metrics(args.metrics_out, harness.system)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Failover drill with tracing on; exports a Chrome trace."""
+    tracer = Tracer(capacity=CLI_TRACE_CAPACITY)
+    tracer.enable()
+    system = _build_system(args, tracer=tracer)
+    workload = ContinuousWorkload(system)
+    target = max(1, int(system.config.num_slots * args.load))
+    workload.add_streams(target)
+    system.run_for(args.warmup)
+    print(f"t={system.sim.now:.1f}s: failing cub {args.victim}")
+    system.fail_cub(args.victim)
+    system.run_for(args.seconds)
+    if args.recover:
+        print(f"t={system.sim.now:.1f}s: recovering cub {args.victim}")
+        system.recover_cub(args.victim)
+        system.run_for(args.seconds)
+    system.finalize_clients()
+
+    counts: dict = {}
+    for record in tracer.records:
+        counts[record.category] = counts.get(record.category, 0) + 1
+    print(f"{len(tracer.records)} trace records "
+          f"({tracer.dropped} dropped) across {len(counts)} categories:")
+    for category in sorted(counts):
+        print(f"  {category:<20} {counts[category]}")
+    _export_trace(args.out, tracer)
+    print("open in a Chromium browser at about://tracing, or at "
+          "https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run a workload window and print the metrics registry."""
+    system = _build_system(args)
+    profiler = None
+    if args.profile:
+        profiler = EventLoopProfiler()
+        system.sim.set_profiler(profiler)
+    from repro.core.metrics import MetricsCollector
+
+    collector = MetricsCollector(system)
+    workload = ContinuousWorkload(system)
+    target = max(1, int(system.config.num_slots * args.load))
+    workload.add_streams(target)
+    system.run_for(args.warmup)
+    collector.begin_window()
+    system.run_for(args.seconds)
+    collector.sample(label=f"load={args.load:.2f}")
+    system.finalize_clients()
+    system.export_metrics()
+
+    print(render_metrics_table(system.registry.snapshot()))
+    if profiler is not None:
+        print()
+        for line in profiler.lines():
+            print(line)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(system.registry.to_json())
+            handle.write("\n")
+        print(f"\nwrote registry snapshot to {args.out}")
+    system.assert_invariants()
     return 0
 
 
@@ -178,8 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--files", type=int, default=8)
         sub.add_argument("--file-seconds", type=float, default=240.0)
 
+    def observability(sub):
+        sub.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="capture a trace; Chrome JSON, or JSONL if PATH "
+                 "ends in .jsonl")
+        sub.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write the metrics registry snapshot as JSON")
+
     demo = subparsers.add_parser("demo", help="run and inspect a system")
     common(demo)
+    observability(demo)
     demo.add_argument("--streams", type=int, default=12)
     demo.add_argument("--seconds", type=float, default=30.0)
     demo.set_defaults(func=cmd_demo)
@@ -199,11 +335,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = subparsers.add_parser("chaos", help="fault-injection soak")
     common(chaos)
+    observability(chaos)
     chaos.add_argument("--load", type=float, default=0.5)
     chaos.add_argument("--seconds", type=float, default=120.0)
     chaos.add_argument("--drop-rate", type=float, default=0.01)
     chaos.add_argument("--victim", type=int, default=1)
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = subparsers.add_parser(
+        "trace", help="failover drill exported as a Chrome trace")
+    common(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (default: trace.json)")
+    trace.add_argument("--load", type=float, default=0.5)
+    trace.add_argument("--victim", type=int, default=1)
+    trace.add_argument("--warmup", type=float, default=10.0)
+    trace.add_argument("--seconds", type=float, default=20.0)
+    trace.add_argument("--recover", action="store_true",
+                       help="also recover the victim and trace reintegration")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="print/export the metrics registry after a run")
+    common(metrics)
+    metrics.add_argument("--load", type=float, default=0.5)
+    metrics.add_argument("--warmup", type=float, default=10.0)
+    metrics.add_argument("--seconds", type=float, default=50.0)
+    metrics.add_argument("--profile", action="store_true",
+                         help="profile event-loop handlers (wall time)")
+    metrics.add_argument("--out", default=None,
+                         help="also write the snapshot JSON here")
+    metrics.set_defaults(func=cmd_metrics)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
     report.add_argument("--results", default="benchmarks/results")

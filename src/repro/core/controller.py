@@ -30,8 +30,9 @@ from repro.core.viewerstate import DescheduleRequest
 from repro.net.message import DESCHEDULE_BYTES, REQUEST_BYTES, Message
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
+from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
-from repro.sim.stats import BusyMeter, Counter
+from repro.sim.stats import BusyMeter
 from repro.sim.trace import Tracer
 from repro.storage.catalog import Catalog
 from repro.storage.layout import StripeLayout
@@ -75,6 +76,7 @@ class Controller(NetworkNode):
         tracer: Optional[Tracer] = None,
         address: str = CONTROLLER_ADDRESS,
         active: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(sim, address, tracer)
         self.config = config
@@ -90,8 +92,15 @@ class Controller(NetworkNode):
         self.backup_address: Optional[str] = None
         self.cpu = BusyMeter(sim.now)
         self.plays: Dict[int, PlayRecord] = {}
-        self.starts_routed = Counter()
-        self.stops_routed = Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.starts_routed = self.registry.counter(
+            "controller.starts_routed",
+            help="Client start requests routed to cubs",
+            unit="requests", controller=address)
+        self.stops_routed = self.registry.counter(
+            "controller.stops_routed",
+            help="Client stop requests routed to cubs",
+            unit="requests", controller=address)
         # Clock mastering and system monitoring: a small constant load
         # independent of stream count — the flat controller line of
         # Figures 8/9.

@@ -58,10 +58,11 @@ from repro.net.message import (
 )
 from repro.net.node import NetworkNode
 from repro.net.switch import SwitchedNetwork
+from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
-from repro.sim.stats import BusyMeter, Counter
+from repro.sim.stats import BusyMeter
 from repro.sim.trace import Tracer
 from repro.storage.blockindex import BlockIndex
 from repro.storage.catalog import Catalog
@@ -94,6 +95,7 @@ class Cub(NetworkNode):
         tracer: Optional[Tracer] = None,
         strict: bool = True,
         forward_copies: int = 2,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(sim, cub_address(cub_id), tracer)
         self.cub_id = cub_id
@@ -163,17 +165,49 @@ class Cub(NetworkNode):
         #: load estimate behind the admission guard.
         self._recent_send_times: Deque[float] = deque()
 
-        # Counters surfaced by the metrics layer.
-        self.blocks_sent = Counter()
-        self.mirror_pieces_sent = Counter()
-        self.server_missed_blocks = Counter()
-        self.mirror_pieces_missed = Counter()
-        self.blocks_lost_in_failover = Counter()
-        self.pieces_lost_to_second_failure = Counter()
-        self.insert_conflicts = Counter()
-        self.viewer_states_forwarded = Counter()
-        self.deschedules_forwarded = Counter()
-        self.inserts_performed = Counter()
+        # Counters registered as per-cub metric series (the registry
+        # handles subclass the plain stats counters, so increments cost
+        # exactly what they did before the observability refactor).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        metric = self.registry.counter
+        self.blocks_sent = metric(
+            "cub.blocks_sent", help="Primary blocks placed on the wire",
+            unit="blocks", cub=cub_id)
+        self.mirror_pieces_sent = metric(
+            "cub.mirror_pieces_sent", help="Declustered mirror pieces sent",
+            unit="pieces", cub=cub_id)
+        self.server_missed_blocks = metric(
+            "cub.server_missed_blocks",
+            help="Blocks the server failed to place on the network in time",
+            unit="blocks", cub=cub_id)
+        self.mirror_pieces_missed = metric(
+            "cub.mirror_pieces_missed",
+            help="Mirror pieces that missed their transmit deadline",
+            unit="pieces", cub=cub_id)
+        self.blocks_lost_in_failover = metric(
+            "cub.blocks_lost_in_failover",
+            help="Blocks lost inside a failure-detection window",
+            unit="blocks", cub=cub_id)
+        self.pieces_lost_to_second_failure = metric(
+            "cub.pieces_lost_to_second_failure",
+            help="Mirror pieces unrecoverable after a second failure",
+            unit="pieces", cub=cub_id)
+        self.insert_conflicts = metric(
+            "cub.insert_conflicts",
+            help="Double-booked insertions (non-strict ablation mode only)",
+            unit="inserts", cub=cub_id)
+        self.viewer_states_forwarded = metric(
+            "cub.viewer_states_forwarded",
+            help="Viewer-state records forwarded to ring successors",
+            unit="records", cub=cub_id)
+        self.deschedules_forwarded = metric(
+            "cub.deschedules_forwarded",
+            help="Deschedule requests re-forwarded along the ring",
+            unit="requests", cub=cub_id)
+        self.inserts_performed = metric(
+            "cub.inserts_performed",
+            help="Slot insertions performed at owned ownership instants",
+            unit="inserts", cub=cub_id)
 
         self._started = False
 
@@ -188,7 +222,16 @@ class Cub(NetworkNode):
             now=self.sim.now,
         )
         monitor.on_declare_failed.append(self._on_neighbour_declared_failed)
+        monitor.on_declare_recovered.append(self._on_neighbour_recovered)
         return monitor
+
+    def _on_neighbour_recovered(self, cub_id: int) -> None:
+        """A believed-dead neighbour was heard again (trace hook only)."""
+        self.trace(
+            "deadman.resurrect",
+            f"heard cub {cub_id} again, believing it alive",
+            watched=cub_id,
+        )
 
     def start(self) -> None:
         """Begin heartbeating, pumping, and deadman checking."""
@@ -365,6 +408,17 @@ class Cub(NetworkNode):
             )
         else:
             self._ready_reads.discard(key)
+            if self.tracer.enabled:
+                # Span covering the service window: read lead to wire.
+                self.trace_span(
+                    max(0.0, state.due_time - self.config.disk_read_lead),
+                    "block.service",
+                    "served block",
+                    viewer=state.viewer_id,
+                    block=state.block_index,
+                    slot=state.slot,
+                    disk=state.disk_id,
+                )
             entry = self.catalog.get(state.file_id)
             payload = BlockData(
                 viewer_id=state.viewer_id,
@@ -452,6 +506,16 @@ class Cub(NetworkNode):
             )
             self.cpu.add_busy(self.sim.now, self.config.cpu_per_control_msg)
         self.viewer_states_forwarded.increment(len(states))
+        if self.tracer.enabled and (states or mirrors):
+            # One record per batch; `to` lists successor and (when the
+            # ring allows) second successor — the §4.1.1 double forward.
+            self.trace(
+                "vstate.forward",
+                f"forwarded {len(states)} states, {len(mirrors)} mirrors",
+                count=len(states),
+                mirrors=len(mirrors),
+                to=list(destinations),
+            )
 
     # ==================================================================
     # Mirror coverage and gap bridging (§2.3, §4.1.1)
@@ -506,6 +570,14 @@ class Cub(NetworkNode):
 
     def _cover_with_mirrors(self, state: ViewerState) -> None:
         """Create mirror viewer states for a block on a dead disk."""
+        if self.tracer.enabled:
+            self.trace(
+                "mirror.cover",
+                "covering lost block with mirror pieces",
+                viewer=state.viewer_id,
+                block=state.block_index,
+                disk=state.disk_id,
+            )
         mirrors = mirror_states_for(
             state,
             self.config.decluster,
@@ -691,6 +763,13 @@ class Cub(NetworkNode):
         self._redundant_requests.pop(request.instance, None)
         if self.oracle is not None:
             self.oracle.remove(request.slot, request.viewer_id, request.instance)
+        if self.tracer.enabled:
+            self.trace(
+                "deschedule",
+                "applied deschedule tombstone",
+                viewer=request.viewer_id,
+                slot=request.slot,
+            )
 
         # Forward until the tombstone has outrun every possible viewer
         # state: stop once our own visit is > maxVStateLead away.
@@ -797,13 +876,19 @@ class Cub(NetworkNode):
         queue = self._wait_queues.get(disk_id)
         while queue and queue[0].instance in self._cancelled_instances:
             queue.popleft()
-        if (
-            queue
-            and not self.view.occupied_at(slot, visit)
-            and not self._admission_blocked()
-        ):
-            request = queue.popleft()
-            self._insert_viewer(request, disk_id, slot, visit)
+        if queue and not self.view.occupied_at(slot, visit):
+            if self._admission_blocked():
+                if self.tracer.enabled:
+                    self.trace(
+                        "admission.reject",
+                        "ownership instant skipped by admission guard",
+                        slot=slot,
+                        disk=disk_id,
+                        queued=len(queue),
+                    )
+            else:
+                request = queue.popleft()
+                self._insert_viewer(request, disk_id, slot, visit)
         self._arm_scan(disk_id)
 
     def _insert_viewer(

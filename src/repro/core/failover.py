@@ -59,10 +59,12 @@ class BackupController(Controller):
         network: SwitchedNetwork,
         tracer: Optional[Tracer] = None,
         takeover_timeout: Optional[float] = None,
+        registry=None,
     ) -> None:
         super().__init__(
             sim, config, layout, catalog, clock, network, tracer,
             address=BACKUP_CONTROLLER_ADDRESS, active=False,
+            registry=registry,
         )
         self.takeover_timeout = (
             takeover_timeout

@@ -18,6 +18,7 @@ from repro.core.metrics import MetricsCollector
 from repro.core.schedule import GlobalSchedule
 from repro.core.slots import SlotClock
 from repro.net.switch import SwitchedNetwork
+from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -37,11 +38,15 @@ class TigerSystem:
         tracer: Optional[Tracer] = None,
         strict: bool = True,
         forward_copies: int = 2,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.tracer = tracer if tracer is not None else Tracer()
+        #: The system-wide metrics sink; every cub and controller
+        #: registers its counters here (see docs/OBSERVABILITY.md).
+        self.registry = registry if registry is not None else MetricsRegistry()
 
         self.layout = StripeLayout(config.num_cubs, config.disks_per_cub)
         self.mirror = MirrorScheme(self.layout, config.decluster)
@@ -83,6 +88,7 @@ class TigerSystem:
                 tracer=self.tracer,
                 strict=strict,
                 forward_copies=forward_copies,
+                registry=self.registry,
             )
             self.network.register(cub, config.cub_nic_bps)
             self.cubs.append(cub)
@@ -95,6 +101,7 @@ class TigerSystem:
             clock=self.clock,
             network=self.network,
             tracer=self.tracer,
+            registry=self.registry,
         )
         self.network.register(self.controller, config.controller_nic_bps)
 
@@ -147,6 +154,7 @@ class TigerSystem:
             network=self.network,
             tracer=self.tracer,
             takeover_timeout=takeover_timeout,
+            registry=self.registry,
         )
         self.network.register(backup, self.config.controller_nic_bps)
         self.controller.attach_backup(backup.address)
@@ -157,11 +165,19 @@ class TigerSystem:
 
     def fail_controller(self) -> None:
         """Power off the primary controller (failover experiments)."""
+        self.tracer.emit(
+            self.sim.now, "fault.inject", "controller failed",
+            target="controller",
+        )
         self.controller.fail()
 
     def recover_controller(self) -> None:
         """Resurrect the primary.  If a backup took over meanwhile, the
         primary demotes itself on the backup's first active beacon."""
+        self.tracer.emit(
+            self.sim.now, "fault.inject", "controller recovered",
+            target="controller",
+        )
         self.controller.recover()
 
     def add_clients(self, count: int) -> List[ViewerClient]:
@@ -231,29 +247,91 @@ class TigerSystem:
     def metrics(self, probe_cub: int = 0, probe_disk_cubs=None) -> MetricsCollector:
         return MetricsCollector(self, probe_cub, probe_disk_cubs)
 
+    def export_metrics(self) -> MetricsRegistry:
+        """Refresh system-level gauges and return the registry.
+
+        Cub and controller counters are live registry series already;
+        this publishes the aggregates that live outside the registry
+        (network totals, oracle state, tracer health, kernel counters)
+        so a snapshot taken right after is complete.
+        """
+        now = self.sim.now
+        gauge = self.registry.gauge
+        gauge("net.messages_delivered",
+              help="Messages delivered by the switch fabric",
+              unit="messages").set(self.network.messages_delivered)
+        gauge("net.messages_dropped",
+              help="Messages dropped (failed nodes, partitions, faults)",
+              unit="messages").set(self.network.messages_dropped)
+        gauge("oracle.inserts", help="Slot insertions the oracle observed",
+              unit="inserts").set(self.oracle.inserts)
+        gauge("oracle.removes", help="Slot removals the oracle observed",
+              unit="removes").set(self.oracle.removes)
+        gauge("oracle.occupied", help="Slots currently occupied",
+              unit="slots").set(self.oracle.num_occupied)
+        gauge("oracle.load", help="Fraction of schedule slots occupied",
+              unit="ratio").set(self.oracle.load)
+        gauge("trace.records", help="Trace records currently retained",
+              unit="records").set(len(self.tracer.records))
+        gauge("trace.dropped",
+              help="Trace records evicted from the full ring buffer",
+              unit="records").set(self.tracer.dropped)
+        gauge("sim.events_dispatched",
+              help="Events dispatched by the simulation kernel",
+              unit="events").set(self.sim.events_dispatched)
+        gauge("sim.now", help="Simulated clock at export", unit="s").set(now)
+        for cub in self.cubs:
+            gauge("cub.cpu_utilization",
+                  help="Modelled CPU utilization since last reset",
+                  unit="ratio", cub=cub.cub_id).set(
+                      0.0 if cub.failed else cub.cpu_utilization(now))
+            gauge("cub.disk_utilization",
+                  help="Mean disk utilization since last reset",
+                  unit="ratio", cub=cub.cub_id).set(
+                      0.0 if cub.failed else cub.mean_disk_utilization(now))
+        if self.sim.profiler is not None:
+            self.sim.profiler.publish(self.registry)
+        return self.registry
+
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
     def fail_cub(self, cub_id: int) -> None:
         """Cut power to a cub: it stops sending, its disks vanish."""
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"cub {cub_id} failed",
+            target=f"cub:{cub_id}",
+        )
         cub = self.cubs[cub_id]
         cub.fail()
         for disk in cub.disks.values():
             disk.fail()
 
     def recover_cub(self, cub_id: int) -> None:
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"cub {cub_id} recovered",
+            target=f"cub:{cub_id}",
+        )
         cub = self.cubs[cub_id]
         for disk in cub.disks.values():
             disk.recover()
         cub.recover()
 
     def fail_disk(self, disk_id: int) -> None:
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"disk {disk_id} failed",
+            target=f"disk:{disk_id}",
+        )
         cub = self.cubs[self.layout.cub_of_disk(disk_id)]
         cub.disks[disk_id].fail()
         if not cub.failed:
             cub.on_local_disk_failed(disk_id)
 
     def recover_disk(self, disk_id: int) -> None:
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"disk {disk_id} recovered",
+            target=f"disk:{disk_id}",
+        )
         cub = self.cubs[self.layout.cub_of_disk(disk_id)]
         cub.disks[disk_id].recover()
 

@@ -27,6 +27,7 @@ from repro.core.tiger import TigerSystem
 from repro.faults.injectors import InstalledFaults, install_plan
 from repro.faults.monitor import InvariantMonitor
 from repro.faults.plan import FaultPlan
+from repro.obs.registry import MetricsRegistry
 from repro.sim.trace import Tracer
 from repro.workloads.generator import ContinuousWorkload
 
@@ -81,6 +82,7 @@ class ChaosHarness:
         file_seconds: float = 90.0,
         monitor_period: float = 1.0,
         tracer: Optional[Tracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
@@ -95,6 +97,7 @@ class ChaosHarness:
         self.file_seconds = file_seconds
         self.monitor_period = monitor_period
         self.tracer = tracer
+        self.registry = registry
         # Populated by run() for post-mortem inspection.
         self.system: Optional[TigerSystem] = None
         self.monitor: Optional[InvariantMonitor] = None
@@ -103,8 +106,14 @@ class ChaosHarness:
 
     # ------------------------------------------------------------------
     def run(self) -> ChaosReport:
-        system = TigerSystem(self.config, seed=self.seed, tracer=self.tracer)
+        system = TigerSystem(
+            self.config,
+            seed=self.seed,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
         self.system = system
+        self.registry = system.registry
         system.add_standard_content(
             num_files=self.num_files, duration_s=self.file_seconds
         )
@@ -128,6 +137,7 @@ class ChaosHarness:
         monitor.final_check()
         system.finalize_clients()
         system.assert_invariants()
+        system.export_metrics()
 
         totals = self._totals(system)
         return ChaosReport(

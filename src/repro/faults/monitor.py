@@ -44,6 +44,18 @@ from repro.sim.trace import format_trace
 
 _EPS = 1e-9
 
+#: Every check name the monitor can run, in sweep order.  Used to
+#: pre-register the per-check ``chaos.invariant_checks`` counters so a
+#: clean run still exports a zero-valued series for each check.
+CHECK_NAMES = (
+    "oracle",
+    "double-ownership",
+    "conservation",
+    "view-coherence",
+    "stream-liveness",
+    "deadman-convergence",
+)
+
 
 class InvariantViolation(AssertionError):
     """A chaos run broke one of the system's correctness invariants."""
@@ -89,6 +101,30 @@ class InvariantMonitor:
         self.checks_run = 0
         self._installed = False
         self._stopped = False
+        registry = getattr(system, "registry", None)
+        if registry is not None:
+            self._sweeps = registry.counter(
+                "chaos.invariant_sweeps",
+                help="Full invariant sweeps completed by the monitor",
+                unit="sweeps",
+            )
+            self._check_counters = {
+                name: registry.counter(
+                    "chaos.invariant_checks",
+                    help="Individual invariant checks executed, by check",
+                    unit="checks",
+                    check=name,
+                )
+                for name in CHECK_NAMES
+            }
+        else:  # bare system without a registry (unit-test doubles)
+            self._sweeps = None
+            self._check_counters = {}
+
+    def _count(self, check: str) -> None:
+        counter = self._check_counters.get(check)
+        if counter is not None:
+            counter.increment()
 
     # ------------------------------------------------------------------
     # Fault awareness
@@ -134,14 +170,22 @@ class InvariantMonitor:
         """One full sweep; raises :class:`InvariantViolation` on failure."""
         now = self.system.sim.now
         self.checks_run += 1
+        if self._sweeps is not None:
+            self._sweeps.increment()
         self._check_oracle(now)
+        self._count("oracle")
         self._check_slot_ownership(now)
+        self._count("double-ownership")
         self._check_delivery_conservation(now)
+        self._count("conservation")
         if not self._relaxed(now):
             self._check_view_coherence(now)
+            self._count("view-coherence")
             self._check_stream_liveness(now)
+            self._count("stream-liveness")
             if now >= self._converge_after:
                 self._check_deadman_convergence(now)
+                self._count("deadman-convergence")
 
     def final_check(self) -> None:
         """End-of-run sweep.  Call *before* ``finalize_clients()`` —
@@ -300,6 +344,9 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------------
     def _fail(self, now: float, check: str, detail: str) -> None:
+        tracer = self.system.tracer
+        if tracer.enabled:
+            tracer.emit(now, "invariant.violation", detail, check=check)
         tail = list(self.system.tracer.records)[-self.trace_tail:]
         dump = format_trace(tail) if tail else "(tracing disabled)"
         raise InvariantViolation(

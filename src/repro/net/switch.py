@@ -201,13 +201,15 @@ class SwitchedNetwork:
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
-        self.tracer.emit(
-            self.sim.now,
-            "net.deliver",
-            f"{message.src}->{message.dst}",
-            kind=message.kind,
-            size=message.size_bytes,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                "net.deliver",
+                f"{message.src}->{message.dst}",
+                kind=message.kind,
+                size=message.size_bytes,
+                node=message.dst,
+            )
         for hook in self._delivery_hooks:
             hook(message, self.sim.now)
         node.deliver(message)

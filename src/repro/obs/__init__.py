@@ -1,0 +1,52 @@
+"""Unified observability layer: metrics registry, trace export, profiling.
+
+This package is the one place the rest of the reproduction reports what
+it measures:
+
+* :mod:`repro.obs.registry` — a dimensional metrics registry (counters,
+  gauges, histograms keyed by labels such as ``cub``, ``slot``,
+  ``stream``, ``category``) that the per-cub counters,
+  :class:`~repro.core.metrics.MetricsCollector`, and the chaos
+  :class:`~repro.faults.monitor.InvariantMonitor` publish into;
+* :mod:`repro.obs.export` — JSONL and Chrome ``trace_event`` exporters
+  for :class:`~repro.sim.trace.Tracer` records, plus metrics snapshots;
+* :mod:`repro.obs.profiler` — event-loop profiling hooks for
+  :class:`~repro.sim.core.Simulator` (per-handler event counts and
+  simulated-vs-wall time).
+
+Every metric name and trace category is documented in
+``docs/OBSERVABILITY.md``; ``tests/test_obs_docs.py`` asserts the doc
+stays complete against what a fault-injected run actually emits.
+"""
+
+from repro.obs.export import (
+    records_from_jsonl,
+    trace_to_chrome,
+    trace_to_jsonl,
+    write_chrome_trace,
+    write_jsonl_trace,
+    write_trace,
+)
+from repro.obs.profiler import EventLoopProfiler
+from repro.obs.registry import (
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CounterSeries",
+    "EventLoopProfiler",
+    "GaugeSeries",
+    "HistogramSeries",
+    "MetricError",
+    "MetricsRegistry",
+    "records_from_jsonl",
+    "trace_to_chrome",
+    "trace_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "write_trace",
+]

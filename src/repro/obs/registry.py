@@ -1,0 +1,326 @@
+"""A dimensional metrics registry for the Tiger reproduction.
+
+The registry holds **metric families** — a name, a kind (counter,
+gauge, or histogram), a help string, and a unit — each fanning out into
+**series** keyed by label sets (``cub=3``, ``check="oracle"``, ...).
+It is the single sink every component reports through: cub and
+controller counters are registry series, the windowed
+:class:`~repro.core.metrics.MetricsCollector` publishes each sample as
+gauges, and the chaos :class:`~repro.faults.monitor.InvariantMonitor`
+counts its sweeps here.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  A series handle is fetched once at construction
+   time and incremented directly afterwards; an increment is one
+   integer add, exactly what the plain ``sim/stats.py`` counters cost
+   before the refactor (the handles *are* those primitives, subclassed
+   with labels).
+2. **Bounded cardinality.**  Label sets are attacker-controlled in the
+   sense that a bug can key a metric by something unbounded (stream
+   ids, timestamps).  Each family holds at most ``max_series`` series;
+   excess label sets collapse into a single overflow series
+   (``overflow="true"``) and the registry-wide
+   ``obs.series_overflowed`` counter increments, so the leak is visible
+   instead of eating memory.
+3. **Plain data out.**  :meth:`MetricsRegistry.snapshot` returns
+   JSON-ready dictionaries; no exporter dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.stats import Counter as _Counter
+from repro.sim.stats import Histogram as _Histogram
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+#: Label key used for the collapsed series once a family exceeds its
+#: cardinality bound.
+OVERFLOW_LABEL = "overflow"
+
+
+class MetricError(ValueError):
+    """Raised for registry misuse (kind conflicts, bad label keys)."""
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical, hashable form of a label set (values stringified)."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class CounterSeries(_Counter):
+    """One labelled, monotonically increasing counter series.
+
+    Subclasses :class:`repro.sim.stats.Counter`, so existing call sites
+    keep their ``increment(by)`` / ``count`` interface at identical
+    cost.
+
+    :param labels: The series' label set (already stringified keys).
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        super().__init__()
+        self.labels = labels
+
+    def value(self) -> float:
+        """Current count (exporter interface shared by all series)."""
+        return self.count
+
+
+class GaugeSeries:
+    """One labelled gauge series: a value that can move both ways.
+
+    :param labels: The series' label set.
+    """
+
+    __slots__ = ("labels", "current")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = labels
+        self.current: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value.
+
+        :param value: New value.
+        """
+        self.current = value
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (negative allowed)."""
+        self.current += delta
+
+    def value(self) -> float:
+        """Current gauge value."""
+        return self.current
+
+
+class HistogramSeries:
+    """One labelled histogram series with quantile queries.
+
+    Wraps :class:`repro.sim.stats.Histogram` (exact, sorted-insert);
+    suitable for the tens of thousands of observations an experiment
+    produces, not for millions.
+
+    :param labels: The series' label set.
+    """
+
+    __slots__ = ("labels", "_hist")
+
+    def __init__(self, labels: Dict[str, str]) -> None:
+        self.labels = labels
+        self._hist = _Histogram()
+
+    def observe(self, value: float) -> None:
+        """Record one observation.
+
+        :param value: The observed sample.
+        """
+        self._hist.add(value)
+
+    @property
+    def n(self) -> int:
+        """Number of observations recorded."""
+        return self._hist.n
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, ``q`` in [0, 1]."""
+        return self._hist.quantile(q)
+
+    def value(self) -> Dict[str, float]:
+        """Summary statistics: count, mean, p50, p95, max."""
+        if not self._hist.n:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": self._hist.n,
+            "mean": self._hist.mean(),
+            "p50": self._hist.quantile(0.5),
+            "p95": self._hist.quantile(0.95),
+            "max": self._hist.quantile(1.0),
+        }
+
+
+_SERIES_TYPES = {
+    KIND_COUNTER: CounterSeries,
+    KIND_GAUGE: GaugeSeries,
+    KIND_HISTOGRAM: HistogramSeries,
+}
+
+
+class MetricFamily:
+    """All series of one metric name.
+
+    Created lazily by the registry accessors; use those rather than
+    constructing families directly.
+
+    :param name: Dot-separated metric name (e.g. ``"cub.blocks_sent"``).
+    :param kind: One of ``"counter"``, ``"gauge"``, ``"histogram"``.
+    :param help: One-line description, surfaced by exporters.
+    :param unit: Unit string (``"blocks"``, ``"s"``, ``"bytes/s"``...).
+    :param max_series: Cardinality bound before overflow collapse.
+    """
+
+    __slots__ = ("name", "kind", "help", "unit", "max_series", "series", "_overflow")
+
+    def __init__(
+        self, name: str, kind: str, help: str, unit: str, max_series: int
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.unit = unit
+        self.max_series = max_series
+        self.series: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+        self._overflow = None
+
+    def overflowed(self) -> bool:
+        """Whether this family has collapsed any label set."""
+        return self._overflow is not None
+
+
+class MetricsRegistry:
+    """The process-wide sink for counters, gauges, and histograms.
+
+    Accessors are get-or-create: the first call with a new (name,
+    labels) pair creates the series, later calls return the same
+    object, so components can fetch handles at construction time and
+    mutate them on the hot path with no dictionary lookups.
+
+    :param max_series_per_family: Cardinality bound applied to every
+        family; label sets beyond it collapse into one overflow series.
+    """
+
+    def __init__(self, max_series_per_family: int = 4096) -> None:
+        if max_series_per_family < 1:
+            raise MetricError("max_series_per_family must be at least 1")
+        self.max_series_per_family = max_series_per_family
+        self._families: Dict[str, MetricFamily] = {}
+        #: How many label sets were collapsed into overflow series.
+        self.series_overflowed = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", unit: str = "", **labels: Any
+    ) -> CounterSeries:
+        """Get or create a counter series.
+
+        :param name: Metric family name.
+        :param help: One-line description (set on first use).
+        :param unit: Unit string (set on first use).
+        :param labels: Label key/value pairs identifying the series.
+        :returns: The (shared) counter handle.
+        """
+        return self._series(KIND_COUNTER, name, help, unit, labels)
+
+    def gauge(
+        self, name: str, help: str = "", unit: str = "", **labels: Any
+    ) -> GaugeSeries:
+        """Get or create a gauge series (see :meth:`counter`)."""
+        return self._series(KIND_GAUGE, name, help, unit, labels)
+
+    def histogram(
+        self, name: str, help: str = "", unit: str = "", **labels: Any
+    ) -> HistogramSeries:
+        """Get or create a histogram series (see :meth:`counter`)."""
+        return self._series(KIND_HISTOGRAM, name, help, unit, labels)
+
+    def _series(
+        self, kind: str, name: str, help: str, unit: str, labels: Dict[str, Any]
+    ) -> Any:
+        if OVERFLOW_LABEL in labels:
+            raise MetricError(f"label key {OVERFLOW_LABEL!r} is reserved")
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(
+                name, kind, help, unit, self.max_series_per_family
+            )
+            self._families[name] = family
+        elif family.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is not None:
+            return series
+        if len(family.series) >= family.max_series:
+            # Cardinality guard: collapse into the overflow series.
+            self.series_overflowed += 1
+            if family._overflow is None:
+                family._overflow = _SERIES_TYPES[kind]({OVERFLOW_LABEL: "true"})
+            return family._overflow
+        series = _SERIES_TYPES[kind](
+            {key_: value for key_, value in key}
+        )
+        family.series[key] = series
+        return series
+
+    # ------------------------------------------------------------------
+    # Introspection and export
+    # ------------------------------------------------------------------
+    def family(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self._families.get(name)
+
+    def names(self) -> List[str]:
+        """All registered family names, sorted."""
+        return sorted(self._families)
+
+    def get_value(self, name: str, **labels: Any) -> Any:
+        """Read one series' current value without creating it.
+
+        :param name: Metric family name.
+        :param labels: Label set identifying the series.
+        :returns: The series value, or None if absent.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return None
+        series = family.series.get(_label_key(labels))
+        return None if series is None else series.value()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every family and series.
+
+        :returns: ``{name: {"kind", "help", "unit", "series": [
+            {"labels": {...}, "value": ...}, ...]}}``, with the overflow
+            series appended last when present.
+        """
+        out: Dict[str, Any] = {}
+        for name in self.names():
+            family = self._families[name]
+            rows = [
+                {"labels": series.labels, "value": series.value()}
+                for series in family.series.values()
+            ]
+            if family._overflow is not None:
+                rows.append(
+                    {
+                        "labels": family._overflow.labels,
+                        "value": family._overflow.value(),
+                    }
+                )
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "unit": family.unit,
+                "series": rows,
+            }
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`snapshot`, serialized.
+
+        :param indent: JSON indentation level.
+        :returns: A JSON document string.
+        """
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -19,6 +19,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from repro.sim.events import PRIORITY_NORMAL, Event
@@ -50,6 +51,9 @@ class Simulator:
         self._events_dispatched = 0
         self._running = False
         self._stopped = False
+        #: Optional event-loop profiler (duck-typed: ``record(fn, wall_s,
+        #: sim_now)``); None keeps dispatch at one attribute check.
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -63,6 +67,27 @@ class Simulator:
     def events_dispatched(self) -> int:
         """Total number of callbacks executed so far."""
         return self._events_dispatched
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The attached event-loop profiler, or None."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach (or detach, with None) an event-loop profiler.
+
+        While attached, every dispatched event is timed with
+        ``perf_counter`` and reported via ``profiler.record(fn, wall_s,
+        sim_now)`` — see
+        :class:`repro.obs.profiler.EventLoopProfiler`.  Detached, the
+        dispatch loop pays a single attribute check per event.
+
+        :param profiler: Object with a ``record`` method, or None.
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -114,7 +139,14 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_dispatched += 1
-            event.fn(*event.args)
+            if self._profiler is None:
+                event.fn(*event.args)
+            else:
+                started = perf_counter()
+                event.fn(*event.args)
+                self._profiler.record(
+                    event.fn, perf_counter() - started, self._now
+                )
             return True
         return False
 

@@ -1,0 +1,23 @@
+"""Path shim: make ``python examples/<script>.py`` work from a checkout.
+
+The project is laid out src-style (the package lives in ``src/repro``)
+and is not pip-installed into the interpreter, so a bare
+``python examples/quickstart.py`` has no ``repro`` on its path unless
+the caller remembered ``PYTHONPATH=src``.  Every example imports this
+module first; if ``repro`` is not already importable, the sibling
+``src`` directory is prepended to ``sys.path``.  When the package *is*
+installed (or PYTHONPATH is set), this is a no-op, so the installed
+version always wins.
+"""
+
+import importlib.util
+import os
+import sys
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+        ),
+    )

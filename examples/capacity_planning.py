@@ -14,6 +14,8 @@ Walks through the arithmetic an operator would do before deploying:
 Run:  python examples/capacity_planning.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro.config import paper_config
 from repro.core.centralized import scalability_table
 from repro.disk.model import (

@@ -18,6 +18,8 @@ claim:
 Run:  python examples/controller_failover.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro import TigerSystem, small_config
 
 

@@ -10,6 +10,8 @@ successors and that service continues indefinitely.
 Run:  python examples/failover_drill.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro import TigerSystem, small_config
 from repro.workloads import ContinuousWorkload
 

@@ -15,6 +15,8 @@ spacing appears as insertion delay, not overload.
 Run:  python examples/hot_movie_premiere.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro import TigerSystem, small_config
 from repro.sim.stats import summarize
 

@@ -12,6 +12,8 @@ predicts.
 Run:  python examples/mixed_bitrate_service.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro.disk.model import DiskParameters
 from repro.mbr import MbrAdmission, MbrCubSimulation, run_mix_experiment
 from repro.sim.core import Simulator

@@ -13,6 +13,8 @@ Demonstrates the 2-D network schedule on mixed-rate content:
 Run:  python examples/multibitrate_schedule.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro.core.netschedule import NetScheduleNode, NetworkSchedule
 from repro.net.switch import SwitchedNetwork
 from repro.sim.core import Simulator

@@ -9,6 +9,8 @@ view sizes that make the design scale.
 Run:  python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro import TigerSystem, small_config
 
 

@@ -8,6 +8,8 @@ system — plus the Figure 7-style comparison of per-cub views.
 Run:  python examples/schedule_gallery.py
 """
 
+import _bootstrap  # noqa: F401  (path shim; keep before repro imports)
+
 from repro import TigerSystem, small_config
 from repro.analysis.render import (
     render_disk_schedule,

@@ -12,7 +12,11 @@ Subcommands:
 * ``trace``    — run the failover drill with tracing on and export a
                  Chrome ``trace_event`` file (open in about://tracing);
 * ``metrics``  — run a workload and print/export the metrics registry;
-* ``report``   — regenerate EXPERIMENTS.md from benchmark results.
+* ``report``   — regenerate EXPERIMENTS.md from benchmark results;
+* ``cluster``  — run the schedule protocol over real sockets: one OS
+                 process per cub/controller on localhost, optional
+                 mid-run SIGKILL of a cub, optional ``--compare-sim``
+                 replay of the identical scenario in the simulator.
 
 ``demo`` and ``chaos`` also accept ``--trace PATH`` (Chrome JSON by
 default, JSONL when the path ends in ``.jsonl``) and ``--metrics-out
@@ -28,11 +32,14 @@ Usage::
     python -m repro trace --out failover.json
     python -m repro metrics --seconds 60 --profile
     python -m repro report
+    python -m repro cluster --cubs 4 --duration 20 --compare-sim
+    python -m repro cluster --cubs 3 --duration 15 --kill-cub 1
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
 from repro import TigerSystem, TigerConfig, paper_config, small_config
@@ -293,6 +300,39 @@ def cmd_report(args) -> int:
     )
 
 
+def cmd_cluster(args) -> int:
+    # Imported lazily: the live backend drags in asyncio/subprocess
+    # machinery no simulated subcommand needs.
+    from repro.live.cluster import ClusterScenario, run_cluster
+
+    scenario = ClusterScenario(
+        cubs=args.cubs,
+        duration=args.duration,
+        streams=args.streams,
+        seed=args.seed,
+        kill_cub=args.kill_cub,
+        kill_at=args.kill_at,
+        backup=not args.no_backup,
+        num_files=args.files,
+        file_duration_s=args.file_seconds,
+        deadman_timeout=args.deadman,
+    )
+    report = run_cluster(
+        scenario, compare_sim=args.compare_sim, echo=print
+    )
+    print()
+    print(report.render())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(report.merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote merged metrics snapshot to {args.metrics_out}")
+    if args.full_metrics:
+        print()
+        print(render_metrics_table(report.merged))
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -371,6 +411,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.set_defaults(func=cmd_report)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run the protocol over real sockets: one process per node",
+    )
+    cluster.add_argument("--cubs", type=int, default=4,
+                         help="number of cub processes (minimum 3)")
+    cluster.add_argument("--duration", type=float, default=20.0,
+                         help="wall-clock seconds of protocol runtime")
+    cluster.add_argument("--streams", type=int, default=6,
+                         help="viewer streams driven from the driver")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--files", type=int, default=8)
+    cluster.add_argument("--file-seconds", type=float, default=120.0)
+    cluster.add_argument("--kill-cub", type=int, default=None,
+                         metavar="CUB_ID",
+                         help="SIGKILL this cub mid-run (deadman drill)")
+    cluster.add_argument("--kill-at", type=float, default=None,
+                         metavar="SECONDS",
+                         help="when to kill it (default: 40%% of duration)")
+    cluster.add_argument("--deadman", type=float, default=3.0,
+                         help="deadman timeout for the run (short "
+                              "scenarios need a short deadman)")
+    cluster.add_argument("--no-backup", action="store_true",
+                         help="run without the backup controller node")
+    cluster.add_argument("--compare-sim", action="store_true",
+                         help="replay the scenario in the simulator and "
+                              "diff protocol counters within tolerance")
+    cluster.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the merged metrics snapshot as JSON")
+    cluster.add_argument("--full-metrics", action="store_true",
+                         help="also print the full merged metrics table")
+    cluster.set_defaults(func=cmd_cluster)
 
     return parser
 

@@ -1,0 +1,81 @@
+"""Content placement shared by every execution backend.
+
+Striping a file and populating the per-cub block indexes is pure
+arithmetic over the layout, the mirror scheme, and the catalog — it has
+nothing to do with *how* the protocol later executes.  This module
+holds that arithmetic in one place so the single-process DES
+(:class:`~repro.core.tiger.TigerSystem`) and the live socket runtime
+(:mod:`repro.live.node`) build **byte-identical content state** from
+the same configuration: every live node derives the same file ids,
+block locations, and secondary-piece placement the simulator would,
+with no catalog distribution protocol needed (the paper distributes
+file metadata out of band too, §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import TigerConfig
+from repro.storage.blockindex import BlockIndex
+from repro.storage.catalog import MODE_SINGLE_BITRATE, Catalog, TigerFile
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+
+
+def index_file(
+    config: TigerConfig,
+    layout: StripeLayout,
+    mirror: MirrorScheme,
+    indexes: Sequence[BlockIndex],
+    entry: TigerFile,
+) -> None:
+    """Record ``entry``'s primary and secondary block locations.
+
+    Populates each owning cub's in-memory block index with the primary
+    location and the ``decluster`` secondary pieces of every block
+    (§2.2, §2.3, §4.1.1).  ``indexes`` must hold one
+    :class:`~repro.storage.blockindex.BlockIndex` per cub, in cub order.
+    """
+    stored = entry.stored_bytes_per_block(
+        MODE_SINGLE_BITRATE, config.max_bitrate_bps
+    )
+    piece = mirror.piece_size(stored)
+    for block in range(entry.num_blocks):
+        primary_disk = layout.disk_of_block(entry.start_disk, block)
+        primary_cub = layout.cub_of_disk(primary_disk)
+        indexes[primary_cub].add_primary(
+            entry.file_id, block, primary_disk, stored
+        )
+        for piece_index in range(config.decluster):
+            piece_disk = mirror.piece_location(primary_disk, piece_index)
+            piece_cub = layout.cub_of_disk(piece_disk)
+            indexes[piece_cub].add_secondary(
+                entry.file_id, block, piece_index, piece_disk, piece
+            )
+
+
+def add_standard_content(
+    config: TigerConfig,
+    layout: StripeLayout,
+    mirror: MirrorScheme,
+    catalog: Catalog,
+    indexes: Sequence[BlockIndex],
+    num_files: int = 16,
+    duration_s: float = 600.0,
+    bitrate_bps: Optional[float] = None,
+) -> List[TigerFile]:
+    """Add the standard library of equal-length maximum-rate files.
+
+    The deterministic analogue of the paper's 64 one-hour test-pattern
+    files: file ids, start disks, and block placement are a pure
+    function of ``(config, num_files, duration_s)``, which is what lets
+    live nodes reconstruct the catalog independently.
+    """
+    rate = bitrate_bps if bitrate_bps is not None else config.max_bitrate_bps
+    entries = []
+    for index in range(num_files):
+        entry = catalog.add_file(f"content-{index:03d}", rate, duration_s, None)
+        index_file(config, layout, mirror, indexes, entry)
+        entries.append(entry)
+    return entries

@@ -11,19 +11,21 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config import TigerConfig
+from repro.core import content as content_lib
 from repro.core.client import ViewerClient
 from repro.core.controller import Controller
 from repro.core.cub import Cub
 from repro.core.metrics import MetricsCollector
 from repro.core.schedule import GlobalSchedule
 from repro.core.slots import SlotClock
+from repro.net.message import reset_message_ids
 from repro.net.switch import SwitchedNetwork
 from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 from repro.storage.blockindex import BlockIndex
-from repro.storage.catalog import MODE_SINGLE_BITRATE, Catalog, TigerFile
+from repro.storage.catalog import Catalog, TigerFile
 from repro.storage.layout import StripeLayout
 from repro.storage.mirror import MirrorScheme
 
@@ -42,6 +44,10 @@ class TigerSystem:
     ) -> None:
         self.config = config
         self.sim = Simulator()
+        # Rewind the message-id sequence so a run is a pure function of
+        # (seed, config): back-to-back systems in one process allocate
+        # identical ids instead of continuing a process-global counter.
+        reset_message_ids()
         self.rngs = RngRegistry(seed)
         self.tracer = tracer if tracer is not None else Tracer()
         #: The system-wide metrics sink; every cub and controller
@@ -198,33 +204,24 @@ class TigerSystem:
         """
         rate = bitrate_bps if bitrate_bps is not None else self.config.max_bitrate_bps
         entry = self.catalog.add_file(name, rate, duration_s, start_disk)
-        stored = entry.stored_bytes_per_block(
-            MODE_SINGLE_BITRATE, self.config.max_bitrate_bps
+        content_lib.index_file(
+            self.config, self.layout, self.mirror, self.indexes, entry
         )
-        piece = self.mirror.piece_size(stored)
-        for block in range(entry.num_blocks):
-            primary_disk = self.layout.disk_of_block(entry.start_disk, block)
-            primary_cub = self.layout.cub_of_disk(primary_disk)
-            self.indexes[primary_cub].add_primary(
-                entry.file_id, block, primary_disk, stored
-            )
-            for piece_index in range(self.config.decluster):
-                piece_disk = self.mirror.piece_location(primary_disk, piece_index)
-                piece_cub = self.layout.cub_of_disk(piece_disk)
-                self.indexes[piece_cub].add_secondary(
-                    entry.file_id, block, piece_index, piece_disk, piece
-                )
         return entry
 
     def add_standard_content(
         self, num_files: int = 16, duration_s: float = 600.0
     ) -> List[TigerFile]:
         """A library of equal-length maximum-rate files (the paper's
-        64 one-hour test-pattern files, scaled for simulation)."""
-        return [
-            self.add_file(f"content-{index:03d}", duration_s)
-            for index in range(num_files)
-        ]
+        64 one-hour test-pattern files, scaled for simulation).
+
+        Delegates to :func:`repro.core.content.add_standard_content`,
+        the same routine live nodes use, so a DES run and a live
+        cluster built from the same config see identical content."""
+        return content_lib.add_standard_content(
+            self.config, self.layout, self.mirror, self.catalog,
+            self.indexes, num_files, duration_s,
+        )
 
     # ------------------------------------------------------------------
     # Execution

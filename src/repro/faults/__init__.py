@@ -1,10 +1,11 @@
 """Chaos engineering for the Tiger reproduction.
 
 Declarative fault schedules (:mod:`repro.faults.plan`), the machinery
-that executes them against a live system (:mod:`repro.faults.injectors`),
-runtime invariant monitoring (:mod:`repro.faults.monitor`), and the
-end-to-end harness with deterministic replay fingerprints
-(:mod:`repro.faults.harness`).
+that executes them against a simulated system
+(:mod:`repro.faults.injectors`) or a live socket cluster
+(:mod:`repro.faults.live`), runtime invariant monitoring
+(:mod:`repro.faults.monitor`), and the end-to-end harness with
+deterministic replay fingerprints (:mod:`repro.faults.harness`).
 """
 
 from repro.faults.harness import ChaosHarness, ChaosReport, standard_chaos_plan
@@ -15,20 +16,30 @@ from repro.faults.injectors import (
     ProcessFaultInjector,
     install_plan,
 )
+from repro.faults.live import (
+    CubInvariantProbe,
+    LiveFaultError,
+    LiveFaultInjector,
+    kill_cub_plan,
+)
 from repro.faults.monitor import InvariantMonitor, InvariantViolation
 from repro.faults.plan import FaultPlan, FaultSpec
 
 __all__ = [
     "ChaosHarness",
     "ChaosReport",
+    "CubInvariantProbe",
     "DiskFaultInjector",
     "FaultPlan",
     "FaultSpec",
     "InstalledFaults",
     "InvariantMonitor",
     "InvariantViolation",
+    "LiveFaultError",
+    "LiveFaultInjector",
     "MessageFaultInjector",
     "ProcessFaultInjector",
     "install_plan",
+    "kill_cub_plan",
     "standard_chaos_plan",
 ]

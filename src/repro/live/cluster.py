@@ -1,0 +1,743 @@
+"""The live cluster driver: spawn, route, drive, kill, compare.
+
+This module is the hub of the star.  ``run_cluster`` boots one
+subprocess per cub plus the controller (and optionally the backup
+controller) on localhost, plays the role of the paper's ATM switch by
+routing every length-prefixed frame between them, hosts the viewer
+clients in-process, streams per-node metrics back into one merged
+registry snapshot, optionally SIGKILLs a cub mid-run to exercise the
+deadman/mirror path on real processes — and, with ``compare_sim``,
+replays the *identical* scenario in the discrete-event simulator and
+diffs the protocol counters within a documented tolerance.
+
+Topology
+--------
+Endpoints never talk directly: every node opens exactly one TCP
+connection to the driver, which routes by destination address
+(``cub:2``, ``controller``, ``client:0``).  That mirrors the paper's
+switched fabric, keeps join/handshake trivial (one listening socket),
+and gives the driver a complete vantage point: it sees every frame,
+every disconnect, and every metrics snapshot.
+
+Determinism and comparability
+-----------------------------
+A :class:`ClusterScenario` is the single source of truth for both
+backends: the same config, content library, staggered stream starts,
+mid-run stop, and cub kill are scheduled on the live wall clock and on
+the simulator's virtual clock.  Wall-clock jitter, real socket
+latency, and OS scheduling make the live counters *noisy*, not
+*different in kind* — the comparison asserts each counter lands within
+``max(floor, rel x max(sim, live))`` of its simulated value (see
+:data:`COMPARE_COUNTERS` and DESIGN.md for the derivation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.config import TigerConfig
+from repro.core.client import ViewerClient
+from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
+from repro.faults.live import LiveFaultInjector, kill_cub_plan
+from repro.live.node import (
+    DEFAULT_METRICS_INTERVAL,
+    NodeWorld,
+    ROLE_BACKUP,
+    ROLE_CONTROLLER,
+    ROLE_CUB,
+    config_to_dict,
+)
+from repro.live.runtime import LiveRuntime
+from repro.live.transport import HubTransport
+from repro.live.wire import (
+    FrameDecoder,
+    WireError,
+    control_frame,
+    message_frame,
+    parse_frame,
+)
+from repro.net.message import Message, reset_message_ids
+from repro.obs.registry import (
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_total,
+)
+
+#: How long the driver waits for every node to join before giving up.
+JOIN_TIMEOUT = 30.0
+#: How long the driver waits for nodes to say goodbye after ``_stop``.
+DRAIN_TIMEOUT = 8.0
+
+
+# ----------------------------------------------------------------------
+# Scenario: one description, two backends
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterScenario:
+    """Everything needed to run the same experiment live or simulated."""
+
+    cubs: int = 4
+    #: Runtime seconds from epoch to the stop broadcast.
+    duration: float = 20.0
+    streams: int = 6
+    seed: int = 0
+    #: Cub id to SIGKILL mid-run; None runs fault-free.
+    kill_cub: Optional[int] = None
+    #: When to kill it; None picks 40% of the duration.
+    kill_at: Optional[float] = None
+    backup: bool = True
+    num_files: int = 8
+    file_duration_s: float = 120.0
+    #: Short deadman so failover completes inside a short run (the
+    #: paper's 6 s default would eat a third of a 20 s scenario).
+    deadman_timeout: float = 3.0
+    first_start: float = 1.0
+    stream_stagger: float = 0.25
+    metrics_interval: float = DEFAULT_METRICS_INTERVAL
+    #: Seconds between the ``_start`` broadcast and the shared epoch —
+    #: the window in which every node builds its content state.
+    start_delta: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.cubs < 3:
+            raise ValueError("a Tiger cluster needs at least 3 cubs")
+        if self.duration <= self.first_start:
+            raise ValueError("duration too short for any stream to start")
+        if self.kill_cub is not None and not 0 <= self.kill_cub < self.cubs:
+            raise ValueError(f"kill target cub:{self.kill_cub} out of range")
+
+    def config(self) -> TigerConfig:
+        """The Tiger config both backends run."""
+        return TigerConfig(
+            num_cubs=self.cubs,
+            disks_per_cub=2,
+            decluster=2,
+            streams_per_disk_override=4.0,
+            deadman_timeout=self.deadman_timeout,
+        )
+
+    def stream_plan(self) -> List[Tuple[int, int, float]]:
+        """``(client_index, file_index, start_time)`` per stream."""
+        return [
+            (
+                index,
+                index % self.num_files,
+                self.first_start + index * self.stream_stagger,
+            )
+            for index in range(self.streams)
+        ]
+
+    def stop_plan(self) -> List[Tuple[int, float]]:
+        """``(client_index, stop_time)``: one mid-run viewer stop.
+
+        Exercises the deschedule-flooding path in both backends;
+        omitted when the run is too short for the stop to land between
+        start and shutdown.
+        """
+        stop_at = self.duration * 0.6
+        if self.streams > 0 and stop_at > self.first_start + 3.0:
+            return [(0, stop_at)]
+        return []
+
+    def kill_time(self) -> Optional[float]:
+        if self.kill_cub is None:
+            return None
+        return self.kill_at if self.kill_at is not None else self.duration * 0.4
+
+    def node_addresses(self) -> List[str]:
+        out = [f"cub:{cub_id}" for cub_id in range(self.cubs)]
+        out.append("controller")
+        if self.backup:
+            out.append(BACKUP_CONTROLLER_ADDRESS)
+        return out
+
+    def namespace_of(self, address: str) -> int:
+        """Disjoint message-id namespaces: cub i -> i+1, controller ->
+        N+1, backup -> N+2, the driver itself -> N+3 (0 stays free so a
+        forgotten reset is recognizable)."""
+        if address.startswith("cub:"):
+            return int(address.split(":", 1)[1]) + 1
+        if address == "controller":
+            return self.cubs + 1
+        if address == BACKUP_CONTROLLER_ADDRESS:
+            return self.cubs + 2
+        raise ValueError(f"no namespace for address {address!r}")
+
+    @property
+    def driver_namespace(self) -> int:
+        return self.cubs + 3
+
+
+# ----------------------------------------------------------------------
+# The hub: one listening socket, a routing table, a metrics inbox
+# ----------------------------------------------------------------------
+class ClusterHub:
+    """Routes frames between node sockets and driver-local components."""
+
+    def __init__(self, expected: List[str], registry: MetricsRegistry) -> None:
+        self.expected = set(expected)
+        self.writers: Dict[str, asyncio.StreamWriter] = {}
+        #: Driver-local delivery targets (the viewer clients).
+        self.local: Dict[str, Callable[[Message], None]] = {}
+        #: Latest metrics snapshot per node address.
+        self.node_metrics: Dict[str, Dict[str, Any]] = {}
+        #: ``_bye`` sign-off bodies per node address.
+        self.byes: Dict[str, Dict[str, Any]] = {}
+        #: ``(address, runtime disconnect reason)`` in arrival order.
+        self.disconnects: List[Tuple[str, str]] = []
+        #: Addresses whose disconnect is expected (killed or stopping).
+        self.expected_exits: set = set()
+        self.all_joined = asyncio.Event()
+        self.wire_errors: List[str] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.routed = registry.counter(
+            "live.hub_messages_routed",
+            help="Protocol messages routed through the cluster hub",
+            unit="messages")
+        self.dropped = registry.counter(
+            "live.hub_messages_dropped",
+            help="Messages to unreachable addresses (e.g. killed nodes)",
+            unit="messages")
+
+    async def start(self) -> int:
+        """Listen on an ephemeral localhost port; returns the port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, "127.0.0.1", 0
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        for writer in list(self.writers.values()):
+            if not writer.is_closing():
+                writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- routing ------------------------------------------------------
+    def route(self, message: Message) -> bool:
+        """Deliver one protocol message to its destination's inbox."""
+        deliver = self.local.get(message.dst)
+        if deliver is not None:
+            self.routed.increment()
+            deliver(message)
+            return True
+        writer = self.writers.get(message.dst)
+        if writer is None or writer.is_closing():
+            self.dropped.increment()
+            return False
+        writer.write(message_frame(message))
+        self.routed.increment()
+        return True
+
+    def broadcast(self, frame: bytes) -> None:
+        """Write one control frame to every connected node."""
+        for writer in self.writers.values():
+            if not writer.is_closing():
+                writer.write(frame)
+
+    # -- per-connection service ---------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        address: Optional[str] = None
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for body in decoder.feed(data):
+                    kind, parsed = parse_frame(body)
+                    if kind == "msg":
+                        self.route(parsed)
+                        continue
+                    ctl = parsed.get("ctl")
+                    if ctl == "hello":
+                        address = parsed["node"]
+                        self.writers[address] = writer
+                        if self.expected <= set(self.writers):
+                            self.all_joined.set()
+                    elif ctl == "_metrics":
+                        self.node_metrics[parsed["node"]] = parsed["data"]
+                    elif ctl == "_bye":
+                        self.byes[parsed["node"]] = parsed
+                        self.expected_exits.add(parsed["node"])
+        except (ConnectionError, OSError):
+            pass
+        except WireError as error:
+            self.wire_errors.append(f"{address or '?'}: {error}")
+        finally:
+            if address is not None:
+                self.writers.pop(address, None)
+                reason = (
+                    "clean" if address in self.expected_exits else "unexpected"
+                )
+                self.disconnects.append((address, reason))
+            if not writer.is_closing():
+                writer.close()
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Everything a live run produced, plus pass/fail bookkeeping."""
+
+    scenario: ClusterScenario
+    merged: Dict[str, Any]
+    node_metrics: Dict[str, Dict[str, Any]]
+    byes: Dict[str, Dict[str, Any]]
+    unexpected_exits: List[str]
+    wire_errors: List[str]
+    kills: List[Tuple[float, str]]
+    wall_seconds: float
+    workdir: str
+    #: ``(counter, sim, live, tolerance, ok)`` rows when compare ran.
+    comparison: List[Tuple[str, float, float, float, bool]] = field(
+        default_factory=list
+    )
+    compared: bool = False
+
+    def checks(self) -> List[Tuple[str, bool, str]]:
+        """Acceptance checks: ``(name, ok, detail)`` rows."""
+        merged = self.merged
+        rows: List[Tuple[str, bool, str]] = []
+        violations = snapshot_total(merged, "live.invariant_violations")
+        rows.append((
+            "invariant violations", violations == 0, f"{violations:g}"
+        ))
+        corrupt = snapshot_total(merged, "live.client_blocks_corrupt")
+        rows.append((
+            "corrupt blocks at clients", corrupt == 0, f"{corrupt:g}"
+        ))
+        errors = sum(
+            int(bye.get("errors", 0)) for bye in self.byes.values()
+        )
+        rows.append(("node callback errors", errors == 0, f"{errors}"))
+        rows.append((
+            "unexpected node exits",
+            not self.unexpected_exits,
+            ", ".join(self.unexpected_exits) or "none",
+        ))
+        rows.append((
+            "wire protocol errors",
+            not self.wire_errors,
+            f"{len(self.wire_errors)}",
+        ))
+        received = snapshot_total(merged, "live.client_blocks_received")
+        rows.append((
+            "clients received data", received > 0, f"{received:g} blocks"
+        ))
+        if self.kills:
+            pieces = snapshot_total(merged, "cub.mirror_pieces_sent")
+            rows.append((
+                "mirror takeover after kill",
+                pieces > 0,
+                f"{pieces:g} mirror pieces sent",
+            ))
+        if self.compared:
+            bad = [row[0] for row in self.comparison if not row[4]]
+            rows.append((
+                "sim/live counters within tolerance",
+                not bad,
+                ", ".join(bad) or f"{len(self.comparison)} counters match",
+            ))
+        return rows
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _, ok, _ in self.checks())
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        lines: List[str] = []
+        scenario = self.scenario
+        lines.append(
+            f"live cluster: {scenario.cubs} cubs, {scenario.streams} "
+            f"streams, {scenario.duration:g}s runtime "
+            f"({self.wall_seconds:.1f}s wall)"
+        )
+        for when, address in self.kills:
+            lines.append(f"  fault: SIGKILL {address} at t={when:g}s")
+        lines.append(f"  node logs and specs: {self.workdir}")
+        lines.append("")
+        lines.append("protocol counters (all nodes merged):")
+        for name in (
+            "cub.viewer_states_forwarded",
+            "cub.deschedules_forwarded",
+            "cub.inserts_performed",
+            "cub.blocks_sent",
+            "cub.mirror_pieces_sent",
+            "cub.server_missed_blocks",
+            "controller.starts_routed",
+            "controller.stops_routed",
+            "live.hub_messages_routed",
+        ):
+            lines.append(
+                f"  {name:<34} {snapshot_total(self.merged, name):>12g}"
+            )
+        if self.compared:
+            lines.append("")
+            lines.append("simulator comparison (|sim - live| <= tolerance):")
+            for name, sim_v, live_v, tol, ok in self.comparison:
+                mark = "ok " if ok else "FAIL"
+                lines.append(
+                    f"  {mark} {name:<34} sim={sim_v:>9g} "
+                    f"live={live_v:>9g} tol={tol:g}"
+                )
+        lines.append("")
+        lines.append("checks:")
+        for name, ok, detail in self.checks():
+            lines.append(f"  {'ok ' if ok else 'FAIL'} {name}: {detail}")
+        lines.append("")
+        lines.append(f"result: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+class LiveCluster:
+    """Holds the spawned processes; the fault injector's target."""
+
+    def __init__(self) -> None:
+        self.procs: Dict[str, subprocess.Popen] = {}
+        self.runtime: Optional[LiveRuntime] = None
+        self.hub: Optional[ClusterHub] = None
+        #: ``(runtime_time, address)`` kills actually performed.
+        self.kills: List[Tuple[float, str]] = []
+
+    def kill_node(self, address: str) -> None:
+        """SIGKILL a node: the live cub-crash fault (no cleanup, no
+        goodbye — the survivors find out via deadman silence)."""
+        proc = self.procs.get(address)
+        if proc is None or proc.poll() is not None:
+            return
+        self.hub.expected_exits.add(address)
+        proc.kill()
+        self.kills.append((self.runtime.now, address))
+
+    def reap(self, timeout: float = 5.0) -> None:
+        """Terminate and wait out every remaining subprocess."""
+        for proc in self.procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.time() + timeout
+        for proc in self.procs.values():
+            remaining = max(0.1, deadline - time.time())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+
+def _write_node_spec(
+    workdir: Path,
+    scenario: ClusterScenario,
+    address: str,
+    port: int,
+) -> Path:
+    if address.startswith("cub:"):
+        role, node_id = ROLE_CUB, int(address.split(":", 1)[1])
+    elif address == "controller":
+        role, node_id = ROLE_CONTROLLER, 0
+    else:
+        role, node_id = ROLE_BACKUP, 0
+    spec = {
+        "role": role,
+        "node_id": node_id,
+        "address": address,
+        "namespace": scenario.namespace_of(address),
+        "seed": scenario.seed,
+        "host": "127.0.0.1",
+        "port": port,
+        "config": config_to_dict(scenario.config()),
+        "content": {
+            "num_files": scenario.num_files,
+            "duration_s": scenario.file_duration_s,
+        },
+        "metrics_interval": scenario.metrics_interval,
+        "backup_enabled": scenario.backup,
+    }
+    path = workdir / f"{address.replace(':', '-')}.json"
+    path.write_text(json.dumps(spec, indent=2), encoding="utf-8")
+    return path
+
+
+def _spawn_nodes(
+    workdir: Path, scenario: ClusterScenario, port: int, cluster: LiveCluster
+) -> None:
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    for address in scenario.node_addresses():
+        spec_path = _write_node_spec(workdir, scenario, address, port)
+        log_path = workdir / f"{address.replace(':', '-')}.log"
+        with open(log_path, "wb") as log:
+            cluster.procs[address] = subprocess.Popen(
+                [sys.executable, "-m", "repro.live.node",
+                 "--spec", str(spec_path)],
+                stdout=log, stderr=subprocess.STDOUT, env=env,
+            )
+
+
+async def _run_cluster_async(
+    scenario: ClusterScenario,
+    echo: Callable[[str], None],
+) -> ClusterReport:
+    wall_start = time.time()
+    registry = MetricsRegistry()
+    cluster = LiveCluster()
+    hub = ClusterHub(scenario.node_addresses(), registry)
+    cluster.hub = hub
+    port = await hub.start()
+    workdir = Path(tempfile.mkdtemp(prefix="tiger-live-"))
+    echo(
+        f"booting {len(scenario.node_addresses())} node processes "
+        f"(hub on 127.0.0.1:{port}, workdir {workdir})"
+    )
+    _spawn_nodes(workdir, scenario, port, cluster)
+    try:
+        await asyncio.wait_for(
+            hub.all_joined.wait(), timeout=JOIN_TIMEOUT
+        )
+    except asyncio.TimeoutError:
+        cluster.reap()
+        await hub.stop()
+        missing = sorted(hub.expected - set(hub.writers))
+        raise RuntimeError(
+            f"cluster never assembled: {missing} did not join within "
+            f"{JOIN_TIMEOUT:g}s (logs in {workdir})"
+        ) from None
+
+    # Every node is connected: fix the shared epoch slightly in the
+    # future so all of them finish building content state before t=0.
+    epoch = time.time() + scenario.start_delta
+    hub.broadcast(
+        control_frame("_start", epoch=epoch, duration=scenario.duration)
+    )
+    loop = asyncio.get_running_loop()
+    runtime = LiveRuntime(epoch, loop)
+    cluster.runtime = runtime
+    reset_message_ids(scenario.driver_namespace)
+
+    # Viewer clients live in the driver process, on the same runtime.
+    world = NodeWorld(
+        scenario.config(),
+        num_files=scenario.num_files,
+        duration_s=scenario.file_duration_s,
+    )
+    transport = HubTransport(hub, runtime)
+    clients: List[ViewerClient] = []
+    for client_index in range(scenario.streams):
+        client = ViewerClient(
+            sim=runtime,
+            address=f"client:{client_index}",
+            config=world.config,
+            catalog=world.catalog,
+            network=transport,
+            backup_controller=(
+                BACKUP_CONTROLLER_ADDRESS if scenario.backup else None
+            ),
+        )
+        hub.local[client.address] = client.deliver
+        clients.append(client)
+
+    instances: Dict[int, int] = {}
+
+    def _start_stream(client_index: int, file_index: int) -> None:
+        file_id = world.files[file_index].file_id
+        instances[client_index] = clients[client_index].start_stream(file_id)
+
+    def _stop_stream(client_index: int) -> None:
+        instance = instances.get(client_index)
+        if instance is not None:
+            clients[client_index].stop_stream(instance)
+
+    for client_index, file_index, start_at in scenario.stream_plan():
+        runtime.call_at(start_at, _start_stream, client_index, file_index)
+    for client_index, stop_at in scenario.stop_plan():
+        runtime.call_at(stop_at, _stop_stream, client_index)
+
+    kill_at = scenario.kill_time()
+    if kill_at is not None:
+        plan = kill_cub_plan(scenario.kill_cub, kill_at)
+        LiveFaultInjector(cluster, plan).install()
+        echo(f"armed fault: SIGKILL cub:{scenario.kill_cub} at t={kill_at:g}s")
+
+    echo(
+        f"epoch fixed; driving {scenario.streams} streams for "
+        f"{scenario.duration:g}s of runtime"
+    )
+    await asyncio.sleep(max(0.0, epoch + scenario.duration - time.time()))
+
+    # Stop: ask every surviving node to snapshot and sign off.
+    for address in hub.writers:
+        hub.expected_exits.add(address)
+    hub.broadcast(control_frame("_stop"))
+    drain_deadline = time.time() + DRAIN_TIMEOUT
+    while time.time() < drain_deadline and hub.writers:
+        await asyncio.sleep(0.05)
+    runtime.cancel_all()
+    cluster.reap()
+    await hub.stop()
+
+    # Fold driver-side client observations into the metrics pool.
+    for client in clients:
+        for metric, attribute in (
+            ("live.client_blocks_received", "blocks_received"),
+            ("live.client_blocks_late", "blocks_late"),
+            ("live.client_blocks_missed", "blocks_missed"),
+            ("live.client_blocks_corrupt", "blocks_corrupt"),
+        ):
+            total = sum(
+                getattr(monitor, attribute)
+                for monitor in client.streams.values()
+            )
+            registry.gauge(
+                metric,
+                help="Driver-hosted viewer reception bookkeeping",
+                unit="blocks", node=client.address,
+            ).set(total)
+
+    killed = {address for _, address in cluster.kills}
+    unexpected = [
+        address
+        for address, reason in hub.disconnects
+        if reason == "unexpected" and address not in killed
+    ]
+    merged = merge_snapshots(
+        [registry.snapshot()] + list(hub.node_metrics.values())
+    )
+    return ClusterReport(
+        scenario=scenario,
+        merged=merged,
+        node_metrics=dict(hub.node_metrics),
+        byes=dict(hub.byes),
+        unexpected_exits=unexpected,
+        wire_errors=list(hub.wire_errors),
+        kills=list(cluster.kills),
+        wall_seconds=time.time() - wall_start,
+        workdir=str(workdir),
+    )
+
+
+# ----------------------------------------------------------------------
+# The same scenario in the simulator, and the comparison
+# ----------------------------------------------------------------------
+def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
+    """Replay a cluster scenario on the DES; returns a metrics snapshot.
+
+    Identical wiring decisions: same config, same content library, same
+    staggered starts, same mid-run stop, same kill instant (a powered
+    -off cub, the DES equivalent of SIGKILL).
+    """
+    from repro.core.tiger import TigerSystem
+
+    system = TigerSystem(scenario.config(), seed=scenario.seed)
+    files = system.add_standard_content(
+        num_files=scenario.num_files, duration_s=scenario.file_duration_s
+    )
+    if scenario.backup:
+        system.enable_controller_backup()
+    clients = [system.add_client() for _ in range(scenario.streams)]
+
+    instances: Dict[int, int] = {}
+
+    def _start_stream(client_index: int, file_index: int) -> None:
+        file_id = files[file_index].file_id
+        instances[client_index] = clients[client_index].start_stream(file_id)
+
+    def _stop_stream(client_index: int) -> None:
+        instance = instances.get(client_index)
+        if instance is not None:
+            clients[client_index].stop_stream(instance)
+
+    for client_index, file_index, start_at in scenario.stream_plan():
+        system.sim.call_at(start_at, _start_stream, client_index, file_index)
+    for client_index, stop_at in scenario.stop_plan():
+        system.sim.call_at(stop_at, _stop_stream, client_index)
+    kill_at = scenario.kill_time()
+    if kill_at is not None:
+        system.sim.call_at(kill_at, system.cubs[scenario.kill_cub].fail)
+
+    system.run_until(scenario.duration)
+    system.export_metrics()
+    return system.registry.snapshot()
+
+
+#: ``(counter family, relative tolerance, absolute floor)`` — the
+#: contract ``repro cluster --compare-sim`` enforces.  Rationale in
+#: DESIGN.md: wall-clock jitter shifts pump/heartbeat phase and failover
+#: detection instants, so counts wobble but stay the same order; the
+#: mirror/deschedule counters get wider bands because one failover
+#: detection arriving a heartbeat later changes how many blocks the
+#: mirror path covers.
+COMPARE_COUNTERS: List[Tuple[str, float, float]] = [
+    ("cub.viewer_states_forwarded", 0.35, 200.0),
+    ("cub.deschedules_forwarded", 0.50, 40.0),
+    ("cub.inserts_performed", 0.35, 8.0),
+    ("cub.blocks_sent", 0.35, 30.0),
+    ("cub.mirror_pieces_sent", 0.50, 40.0),
+    ("controller.starts_routed", 0.25, 2.0),
+    ("controller.stops_routed", 0.25, 2.0),
+]
+
+
+def compare_counters(
+    sim_snapshot: Dict[str, Any], live_snapshot: Dict[str, Any]
+) -> List[Tuple[str, float, float, float, bool]]:
+    """Diff protocol counters between backends.
+
+    :returns: ``(name, sim_total, live_total, tolerance, ok)`` rows,
+        one per entry of :data:`COMPARE_COUNTERS`.
+    """
+    rows = []
+    for name, rel, floor in COMPARE_COUNTERS:
+        sim_total = snapshot_total(sim_snapshot, name)
+        live_total = snapshot_total(live_snapshot, name)
+        tolerance = max(floor, rel * max(sim_total, live_total))
+        ok = abs(sim_total - live_total) <= tolerance
+        rows.append((name, sim_total, live_total, tolerance, ok))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_cluster(
+    scenario: ClusterScenario,
+    compare_sim: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+) -> ClusterReport:
+    """Boot, drive, and tear down a live cluster; optionally compare.
+
+    :param scenario: What to run.
+    :param compare_sim: Also replay the scenario in the DES and attach
+        counter-comparison rows to the report.
+    :param echo: Progress sink (e.g. ``print``); None is silent.
+    :returns: The finished :class:`ClusterReport`.
+    """
+    sink = echo if echo is not None else (lambda _line: None)
+    report = asyncio.run(_run_cluster_async(scenario, sink))
+    if compare_sim:
+        sink("replaying the identical scenario in the simulator...")
+        sim_snapshot = run_scenario_in_sim(scenario)
+        report.comparison = compare_counters(sim_snapshot, report.merged)
+        report.compared = True
+    return report

@@ -1,0 +1,372 @@
+"""One Tiger component as a real OS process.
+
+``python -m repro.live.node --spec FILE`` boots exactly one protocol
+component — a cub, the controller, or the backup controller — against
+the live backend:
+
+1. read the JSON **node spec** (written by the cluster driver:
+   role, address, message-id namespace, hub endpoint, serialized
+   :class:`~repro.config.TigerConfig`, content parameters);
+2. connect to the cluster hub and say hello;
+3. wait for the hub's ``_start`` frame carrying the shared **epoch**
+   (the wall-clock instant that is runtime time 0.0 for every node);
+4. rebuild layout, mirror scheme, slot clock, catalog, and block
+   indexes *locally* from the spec — content placement is a pure
+   function of the config (:mod:`repro.core.content`), so no metadata
+   distribution protocol is needed and every node's indexes are
+   byte-identical to the simulator's;
+5. construct the **unmodified** protocol class with
+   :class:`~repro.live.runtime.LiveRuntime` as its ``sim`` and a
+   :class:`~repro.live.transport.NodeTransport` as its ``network``,
+   then pump frames: incoming message frames go to
+   ``component.deliver``, metrics snapshots stream back to the hub
+   every few seconds, and a ``_stop`` frame (or hub disconnect) ends
+   the process after one final snapshot.
+
+The spec is a file, not argv, so a config never hits shell quoting and
+the driver can keep specs around for post-mortem reruns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import TigerConfig
+from repro.core import content as content_lib
+from repro.core.controller import CONTROLLER_ADDRESS, Controller
+from repro.core.cub import Cub
+from repro.core.failover import BACKUP_CONTROLLER_ADDRESS, BackupController
+from repro.core.slots import SlotClock
+from repro.faults.live import CubInvariantProbe
+from repro.live.runtime import LiveRuntime
+from repro.live.transport import NodeTransport
+from repro.live.wire import FrameDecoder, control_frame, parse_frame
+from repro.net.message import reset_message_ids
+from repro.obs.registry import MetricsRegistry
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.storage.blockindex import BlockIndex
+from repro.storage.catalog import Catalog
+from repro.storage.layout import StripeLayout
+from repro.storage.mirror import MirrorScheme
+
+ROLE_CUB = "cub"
+ROLE_CONTROLLER = "controller"
+ROLE_BACKUP = "backup"
+
+#: Default cadence of ``_metrics`` frames back to the hub.
+DEFAULT_METRICS_INTERVAL = 2.0
+
+
+# ----------------------------------------------------------------------
+# Config and content reconstruction
+# ----------------------------------------------------------------------
+def config_to_dict(config: TigerConfig) -> Dict[str, Any]:
+    """Serialize a config's scalar fields for a node spec.
+
+    The nested :class:`~repro.disk.model.DiskParameters` (with its zone
+    geometry) is deliberately left out: live clusters run the default
+    disk timing model, and a node rebuilds it from defaults.  Everything
+    the schedule protocol itself depends on — counts, leads, timeouts,
+    block timing — round-trips exactly.
+    """
+    out: Dict[str, Any] = {}
+    for field in dataclasses.fields(TigerConfig):
+        if field.name == "disk":
+            continue
+        out[field.name] = getattr(config, field.name)
+    return out
+
+
+def config_from_dict(data: Dict[str, Any]) -> TigerConfig:
+    """Inverse of :func:`config_to_dict` (default disk model)."""
+    known = {field.name for field in dataclasses.fields(TigerConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown config fields in node spec: {unknown}")
+    return TigerConfig(**data)
+
+
+class NodeWorld:
+    """The deterministic substrate every node rebuilds from its spec."""
+
+    def __init__(
+        self,
+        config: TigerConfig,
+        num_files: int,
+        duration_s: float,
+    ) -> None:
+        self.config = config
+        self.layout = StripeLayout(config.num_cubs, config.disks_per_cub)
+        self.mirror = MirrorScheme(self.layout, config.decluster)
+        self.clock = SlotClock(
+            num_disks=config.num_disks,
+            num_slots=config.num_slots,
+            block_play_time=config.block_play_time,
+        )
+        self.catalog = Catalog(config.block_play_time, config.num_disks)
+        self.indexes: List[BlockIndex] = [
+            BlockIndex(cub_id) for cub_id in range(config.num_cubs)
+        ]
+        self.files = content_lib.add_standard_content(
+            config, self.layout, self.mirror, self.catalog, self.indexes,
+            num_files=num_files, duration_s=duration_s,
+        )
+
+
+def build_component(
+    spec: Dict[str, Any],
+    world: NodeWorld,
+    runtime: LiveRuntime,
+    transport: NodeTransport,
+    registry: MetricsRegistry,
+) -> Tuple[Any, Optional[CubInvariantProbe]]:
+    """Construct the protocol component a spec asks for.
+
+    :returns: ``(component, probe)``; the invariant probe is only
+        created for cubs (it is not installed yet).
+    """
+    role = spec["role"]
+    config = world.config
+    tracer = Tracer(capacity=4096)
+    if role == ROLE_CUB:
+        cub_id = int(spec["node_id"])
+        cub = Cub(
+            sim=runtime,
+            cub_id=cub_id,
+            config=config,
+            layout=world.layout,
+            mirror=world.mirror,
+            catalog=world.catalog,
+            clock=world.clock,
+            network=transport,
+            rngs=RngRegistry(int(spec.get("seed", 0))),
+            block_index=world.indexes[cub_id],
+            oracle=None,  # the oracle needs global state; live nodes have none
+            tracer=tracer,
+            strict=False,  # count violations; never kill a live process
+            registry=registry,
+        )
+        if spec.get("backup_enabled"):
+            cub.controller_addresses = (
+                CONTROLLER_ADDRESS, BACKUP_CONTROLLER_ADDRESS
+            )
+        return cub, CubInvariantProbe(cub, registry)
+    if role == ROLE_CONTROLLER:
+        controller = Controller(
+            sim=runtime,
+            config=config,
+            layout=world.layout,
+            catalog=world.catalog,
+            clock=world.clock,
+            network=transport,
+            tracer=tracer,
+            registry=registry,
+        )
+        if spec.get("backup_enabled"):
+            controller.attach_backup(BACKUP_CONTROLLER_ADDRESS)
+        return controller, None
+    if role == ROLE_BACKUP:
+        backup = BackupController(
+            sim=runtime,
+            config=config,
+            layout=world.layout,
+            catalog=world.catalog,
+            clock=world.clock,
+            network=transport,
+            tracer=tracer,
+            registry=registry,
+        )
+        return backup, None
+    raise ValueError(f"unknown node role {role!r}")
+
+
+# ----------------------------------------------------------------------
+# The node process proper
+# ----------------------------------------------------------------------
+class LiveNode:
+    """Lifecycle of one node process: handshake, run, drain, exit."""
+
+    def __init__(self, spec: Dict[str, Any]) -> None:
+        self.spec = spec
+        self.address: str = spec["address"]
+        self.metrics_interval = float(
+            spec.get("metrics_interval", DEFAULT_METRICS_INTERVAL)
+        )
+        self.runtime: Optional[LiveRuntime] = None
+        self.transport: Optional[NodeTransport] = None
+        self.registry = MetricsRegistry()
+        self.component: Any = None
+        self.probe: Optional[CubInvariantProbe] = None
+        self._stopping = False
+
+    # -- metrics ------------------------------------------------------
+    def _publish_runtime_health(self) -> None:
+        runtime, transport = self.runtime, self.transport
+        gauge = self.registry.gauge
+        gauge("live.events_dispatched",
+              help="Timer callbacks executed on this node's runtime",
+              unit="events", node=self.address).set(runtime.events_dispatched)
+        gauge("live.callback_errors",
+              help="Exceptions raised by runtime callbacks",
+              unit="errors", node=self.address).set(runtime.callback_errors)
+        gauge("live.messages_sent",
+              help="Protocol messages framed onto the hub socket",
+              unit="messages", node=self.address).set(transport.messages_sent)
+        gauge("live.bytes_sent",
+              help="Frame bytes written to the hub socket",
+              unit="bytes", node=self.address).set(transport.bytes_sent)
+        gauge("live.clock_skew",
+              help="Node wall clock minus hub epoch schedule time; "
+                   "localhost nodes share one clock so this tracks "
+                   "metrics-pump lateness, not true skew",
+              unit="seconds", node=self.address).set(0.0)
+
+    def _metrics_frame(self) -> bytes:
+        self._publish_runtime_health()
+        return control_frame(
+            "_metrics",
+            node=self.address,
+            t=self.runtime.now,
+            data=self.registry.snapshot(),
+        )
+
+    def _pump_metrics(self, writer: asyncio.StreamWriter) -> None:
+        if self._stopping or writer.is_closing():
+            return
+        writer.write(self._metrics_frame())
+        self.runtime.call_after(
+            self.metrics_interval, self._pump_metrics, writer
+        )
+
+    # -- lifecycle ----------------------------------------------------
+    async def run(self) -> int:
+        """Connect, handshake, serve until stopped; returns exit code."""
+        spec = self.spec
+        reader, writer = await asyncio.open_connection(
+            spec.get("host", "127.0.0.1"), int(spec["port"])
+        )
+        writer.write(
+            control_frame("hello", node=self.address, pid=os.getpid())
+        )
+        await writer.drain()
+
+        decoder = FrameDecoder()
+        start_body = await self._await_start(reader, decoder)
+        epoch = float(start_body["epoch"])
+
+        # Namespace the message-id sequence so every live node mints ids
+        # in a disjoint range — globally unique with zero coordination.
+        reset_message_ids(int(spec["namespace"]))
+
+        loop = asyncio.get_running_loop()
+        self.runtime = LiveRuntime(epoch, loop)
+        self.transport = NodeTransport(self.runtime, writer)
+        world = NodeWorld(
+            config_from_dict(spec["config"]),
+            num_files=int(spec.get("content", {}).get("num_files", 16)),
+            duration_s=float(spec.get("content", {}).get("duration_s", 600.0)),
+        )
+        self.component, self.probe = build_component(
+            spec, world, self.runtime, self.transport, self.registry
+        )
+        if isinstance(self.component, Cub):
+            # Heartbeats, pumps, and deadman sweeps begin at epoch, in
+            # lockstep with every other cub's runtime time 0.
+            self.runtime.call_at(0.0, self.component.start)
+        if self.probe is not None:
+            self.runtime.call_at(0.0, self.probe.install)
+        self.runtime.call_after(
+            self.metrics_interval, self._pump_metrics, writer
+        )
+
+        await self._serve(reader, writer, decoder)
+        return 0
+
+    async def _await_start(
+        self, reader: asyncio.StreamReader, decoder: FrameDecoder
+    ) -> Dict[str, Any]:
+        while True:
+            data = await reader.read(65536)
+            if not data:
+                raise ConnectionError("hub closed before _start")
+            for body in decoder.feed(data):
+                kind, parsed = parse_frame(body)
+                if kind == "ctl" and parsed.get("ctl") == "_start":
+                    return parsed
+                # Anything else pre-start is a driver bug; drop it.
+
+    async def _serve(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        decoder: FrameDecoder,
+    ) -> None:
+        while not self._stopping:
+            data = await reader.read(65536)
+            if not data:
+                break  # hub gone: shut down quietly
+            for body in decoder.feed(data):
+                kind, parsed = parse_frame(body)
+                if kind == "msg":
+                    self.component.deliver(parsed)
+                elif parsed.get("ctl") == "_stop":
+                    self._stopping = True
+        await self._shutdown(writer)
+
+    async def _shutdown(self, writer: asyncio.StreamWriter) -> None:
+        self._stopping = True
+        if self.probe is not None:
+            self.probe.stop()
+        self.runtime.cancel_all()
+        if not writer.is_closing():
+            # Final snapshot + sign-off so the driver's merged report
+            # includes everything up to the stop instant.
+            writer.write(self._metrics_frame())
+            writer.write(
+                control_frame(
+                    "_bye",
+                    node=self.address,
+                    events=self.runtime.events_dispatched,
+                    errors=self.runtime.callback_errors,
+                    error_details=[
+                        {"t": t, "fn": fn, "traceback": tb}
+                        for t, fn, tb in self.runtime.errors[:8]
+                    ],
+                )
+            )
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: ``python -m repro.live.node --spec FILE``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.live.node",
+        description="Run one Tiger component as a live cluster node.",
+    )
+    parser.add_argument(
+        "--spec", required=True,
+        help="Path to the JSON node spec written by the cluster driver.",
+    )
+    options = parser.parse_args(argv)
+    with open(options.spec, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    node = LiveNode(spec)
+    try:
+        return asyncio.run(node.run())
+    except (ConnectionError, KeyboardInterrupt):
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

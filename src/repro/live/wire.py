@@ -1,0 +1,301 @@
+"""Wire format for the live backend: framing and payload serialization.
+
+The DES hands payload objects between components by reference; real
+sockets need bytes.  This module defines:
+
+* a **codec registry** mapping every protocol payload dataclass
+  (:class:`~repro.core.viewerstate.ViewerState`, deschedule requests,
+  heartbeats, reservations/start-stop traffic, block data, replica
+  updates, ...) to a stable type tag, with generic recursive
+  encode/decode — registering a new payload type is one
+  :func:`register_payload` call;
+* a **versioned frame format**: a 4-byte big-endian length prefix
+  followed by a JSON body carrying the wire version, the
+  :class:`~repro.net.message.Message` envelope (src, dst, kind,
+  modelled size, message id) and the encoded payload.  Frames whose
+  version, length, or payload tag is wrong are rejected with
+  :class:`WireError` — a malformed peer cannot wedge the decoder;
+* an incremental :class:`FrameDecoder` that accepts arbitrary chunk
+  boundaries from a TCP stream.
+
+JSON keeps the dependency budget at zero (msgpack is not in the image)
+and round-trips every field type the payloads use — floats included,
+since Python's ``repr``-based JSON floats are exact round-trips.  The
+paper sizes viewer-state records at ~100 bytes; our JSON encoding of
+one is a few hundred, which is irrelevant on localhost and still tiny
+against the data plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Tuple, Type
+
+from repro.core.protocol import (
+    BlockData,
+    CancelStart,
+    ClientStart,
+    ClientStop,
+    DescheduleForward,
+    Heartbeat,
+    PlayEnded,
+    ReplicaUpdate,
+    StartAck,
+    StartCommitted,
+    StartRequest,
+    ViewerStateBatch,
+)
+from repro.core.viewerstate import (
+    DescheduleRequest,
+    MirrorViewerState,
+    ViewerState,
+)
+from repro.net.message import Message
+
+#: Current frame format version; frames carrying any other version are
+#: rejected (a cluster must be homogeneous — there is no cross-version
+#: negotiation).
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's body size.  Control records are a few
+#: hundred bytes; even a maximal viewer-state batch is far below this.
+#: Anything larger is a corrupt length prefix, not a real frame.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+#: JSON key carrying a payload object's type tag.
+_TYPE_KEY = "_t"
+
+
+class WireError(ValueError):
+    """Raised for malformed, truncated, oversized, or unknown frames."""
+
+
+# ----------------------------------------------------------------------
+# Payload codec registry
+# ----------------------------------------------------------------------
+_TAG_TO_TYPE: Dict[str, Type[Any]] = {}
+_TYPE_TO_TAG: Dict[Type[Any], str] = {}
+
+
+def register_payload(tag: str, cls: Type[Any]) -> None:
+    """Register a payload dataclass under a stable wire tag.
+
+    :param tag: Short, stable identifier written into frames.
+    :param cls: A dataclass whose fields are JSON primitives, tuples
+        thereof, or other registered payload types.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise WireError(f"payload type {cls!r} is not a dataclass")
+    if tag in _TAG_TO_TYPE and _TAG_TO_TYPE[tag] is not cls:
+        raise WireError(f"wire tag {tag!r} already registered")
+    _TAG_TO_TYPE[tag] = cls
+    _TYPE_TO_TAG[cls] = tag
+
+
+def registered_payload_types() -> Dict[str, Type[Any]]:
+    """A copy of the tag -> payload-type registry (tests, docs)."""
+    return dict(_TAG_TO_TYPE)
+
+
+for _tag, _cls in (
+    ("vstate", ViewerState),
+    ("mirror_vstate", MirrorViewerState),
+    ("deschedule_req", DescheduleRequest),
+    ("vstate_batch", ViewerStateBatch),
+    ("start_req", StartRequest),
+    ("cancel_start", CancelStart),
+    ("start_committed", StartCommitted),
+    ("play_ended", PlayEnded),
+    ("deschedule_fwd", DescheduleForward),
+    ("heartbeat", Heartbeat),
+    ("block_data", BlockData),
+    ("client_start", ClientStart),
+    ("client_stop", ClientStop),
+    ("start_ack", StartAck),
+    ("replica_update", ReplicaUpdate),
+):
+    register_payload(_tag, _cls)
+
+
+def encode_payload(obj: Any) -> Any:
+    """Encode a payload object (or primitive) to a JSON-ready value."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (tuple, list)):
+        return [encode_payload(item) for item in obj]
+    tag = _TYPE_TO_TAG.get(type(obj))
+    if tag is None:
+        raise WireError(
+            f"payload type {type(obj).__name__} is not wire-registered"
+        )
+    encoded: Dict[str, Any] = {_TYPE_KEY: tag}
+    for field in dataclasses.fields(obj):
+        encoded[field.name] = encode_payload(getattr(obj, field.name))
+    return encoded
+
+
+def decode_payload(value: Any) -> Any:
+    """Inverse of :func:`encode_payload`.
+
+    JSON arrays decode to tuples (the payload dataclasses are frozen
+    and declare tuple fields).  Unknown tags raise :class:`WireError`.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return tuple(decode_payload(item) for item in value)
+    if isinstance(value, dict):
+        tag = value.get(_TYPE_KEY)
+        cls = _TAG_TO_TYPE.get(tag)
+        if cls is None:
+            raise WireError(f"unknown payload tag {tag!r}")
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {}
+        for key, item in value.items():
+            if key == _TYPE_KEY:
+                continue
+            if key not in field_names:
+                raise WireError(f"payload {tag!r} has no field {key!r}")
+            kwargs[key] = decode_payload(item)
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise WireError(f"bad {tag!r} payload: {error}") from error
+    raise WireError(f"undecodable wire value of type {type(value).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def _encode_frame(body: Dict[str, Any]) -> bytes:
+    data = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {len(data)} bytes exceeds maximum")
+    return _LENGTH.pack(len(data)) + data
+
+
+def message_frame(message: Message) -> bytes:
+    """Serialize one :class:`~repro.net.message.Message` as a frame."""
+    return _encode_frame(
+        {
+            "v": WIRE_VERSION,
+            "src": message.src,
+            "dst": message.dst,
+            "kind": message.kind,
+            "size": message.size_bytes,
+            "id": message.msg_id,
+            "p": encode_payload(message.payload),
+        }
+    )
+
+
+def control_frame(kind: str, **fields: Any) -> bytes:
+    """Serialize a hub/node control record (hello, start, metrics...).
+
+    Control frames share the stream with message frames but never reach
+    protocol code; they drive join/handshake, clock distribution,
+    metrics streaming, and shutdown.
+    """
+    body: Dict[str, Any] = {"v": WIRE_VERSION, "ctl": kind}
+    body.update(fields)
+    return _encode_frame(body)
+
+
+def parse_frame(body: Dict[str, Any]) -> Tuple[str, Any]:
+    """Classify one decoded frame body.
+
+    :returns: ``("ctl", body)`` for control frames, or
+        ``("msg", Message)`` for protocol messages.
+    :raises WireError: on version mismatch or missing envelope fields.
+    """
+    if not isinstance(body, dict):
+        raise WireError("frame body is not an object")
+    version = body.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (speaking {WIRE_VERSION})"
+        )
+    if "ctl" in body:
+        return ("ctl", body)
+    try:
+        message = Message(
+            src=body["src"],
+            dst=body["dst"],
+            payload=decode_payload(body["p"]),
+            size_bytes=body["size"],
+            kind=body["kind"],
+            msg_id=body["id"],
+        )
+    except KeyError as error:
+        raise WireError(f"frame missing envelope field {error}") from error
+    except ValueError as error:
+        raise WireError(f"bad message envelope: {error}") from error
+    return ("msg", message)
+
+
+class FrameDecoder:
+    """Incremental frame reader tolerating arbitrary chunk boundaries.
+
+    Feed raw TCP bytes in; complete, version-checked frame bodies come
+    out.  The decoder validates the length prefix before buffering a
+    body, so a corrupt or hostile peer cannot make it allocate
+    unboundedly.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Add bytes; return every frame body completed by them.
+
+        :raises WireError: on an oversized length prefix or a body that
+            is not valid JSON.
+        """
+        self._buffer.extend(data)
+        bodies: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return bodies
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise WireError(
+                    f"frame length {length} exceeds maximum "
+                    f"{MAX_FRAME_BYTES} (corrupt stream?)"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return bodies
+            raw = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            try:
+                bodies.append(json.loads(raw))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise WireError(f"undecodable frame body: {error}") from error
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buffer)
+
+    def assert_drained(self) -> None:
+        """Raise if the stream ended mid-frame (truncation check)."""
+        if self._buffer:
+            raise WireError(
+                f"stream truncated with {len(self._buffer)} byte(s) of "
+                "partial frame"
+            )
+
+
+def decode_frames(data: bytes) -> Iterator[Tuple[str, Any]]:
+    """Decode a complete byte string into parsed frames (tests, tools).
+
+    :raises WireError: if the data ends mid-frame or any frame is bad.
+    """
+    decoder = FrameDecoder()
+    bodies = decoder.feed(data)
+    decoder.assert_drained()
+    for body in bodies:
+        yield parse_frame(body)

@@ -15,7 +15,6 @@ analysis of section 3.3.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -35,7 +34,61 @@ BATCH_HEADER_BYTES = 40
 KIND_CONTROL = "control"
 KIND_DATA = "data"
 
-_message_ids = itertools.count()
+#: Bits reserved for the per-runtime sequence counter; the namespace
+#: occupies the bits above, so ids from different live nodes can never
+#: collide (node 0 keeps plain small integers for readable reprs).
+MESSAGE_ID_SEQUENCE_BITS = 48
+
+
+class MessageIdAllocator:
+    """Allocates message ids, namespaced and resettable per runtime.
+
+    The DES historically drew ids from one process-global
+    ``itertools.count``, which made ids non-deterministic across
+    back-to-back in-process runs (each run started wherever the last one
+    left off) and would collide between live nodes, each of which is its
+    own process with its own counter.  The allocator fixes both:
+    :func:`reset_message_ids` rewinds the sequence at the start of a
+    runtime, and a nonzero ``namespace`` (one per live node) is packed
+    into the high bits so every id is globally unique across a cluster.
+    """
+
+    __slots__ = ("_namespace_base", "_next")
+
+    def __init__(self, namespace: int = 0) -> None:
+        self.reset(namespace)
+
+    def reset(self, namespace: int = 0) -> None:
+        """Rewind the sequence and (re)bind the namespace."""
+        if namespace < 0:
+            raise ValueError("message id namespace must be non-negative")
+        self._namespace_base = namespace << MESSAGE_ID_SEQUENCE_BITS
+        self._next = 0
+
+    def allocate(self) -> int:
+        """The next id: ``namespace << 48 | sequence``."""
+        value = self._namespace_base + self._next
+        self._next += 1
+        return value
+
+
+_allocator = MessageIdAllocator()
+
+
+def next_message_id() -> int:
+    """Allocate a message id from the process-wide allocator."""
+    return _allocator.allocate()
+
+
+def reset_message_ids(namespace: int = 0) -> None:
+    """Rewind the process-wide id sequence, optionally namespacing it.
+
+    Runtimes call this at construction: :class:`~repro.core.tiger.
+    TigerSystem` resets to namespace 0 so two identical in-process runs
+    produce identical ids, and each live node resets to its own nonzero
+    namespace so ids never collide across the cluster.
+    """
+    _allocator.reset(namespace)
 
 
 @dataclass
@@ -52,7 +105,7 @@ class Message:
     payload: Any
     size_bytes: int
     kind: str = KIND_CONTROL
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    msg_id: int = field(default_factory=next_message_id)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

@@ -31,7 +31,13 @@ _FIFO_EPSILON = 1e-9
 
 
 class SwitchedNetwork:
-    """A star topology: every node's NIC feeds an uncontended switch."""
+    """A star topology: every node's NIC feeds an uncontended switch.
+
+    The ``send`` / ``send_paced`` surface is the
+    :class:`repro.runtime.Transport` backend contract; the live
+    backend's socket transports (:mod:`repro.live.transport`) implement
+    the same contract, so protocol components run on either.
+    """
 
     def __init__(
         self,

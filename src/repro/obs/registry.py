@@ -324,3 +324,88 @@ class MetricsRegistry:
         :returns: A JSON document string.
         """
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra (multi-process export)
+# ----------------------------------------------------------------------
+def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-process :meth:`MetricsRegistry.snapshot` dumps into one.
+
+    The live backend runs one registry per node process; the cluster
+    driver collects their snapshots and merges them into a single
+    system-wide view shaped exactly like one registry's snapshot, so
+    every downstream consumer (table renderer, JSON export, assertions)
+    works unchanged.
+
+    Series with identical ``(family, labels)`` merge by kind: counters
+    and histograms **sum** (a later snapshot of the same node simply
+    supersedes within its own dump — callers pass one snapshot per
+    node), gauges keep the **last** value seen.  In practice live label
+    sets carry the node identity (``cub=...``, ``node=...``), so
+    cross-node collisions only happen for deliberately global series.
+
+    :param snapshots: One snapshot dict per node, in merge order.
+    :returns: A combined snapshot in the same format.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "kind": family.get("kind", KIND_GAUGE),
+                    "help": family.get("help", ""),
+                    "unit": family.get("unit", ""),
+                    "series": [],
+                    "_index": {},
+                }
+                merged[name] = target
+            index = target["_index"]
+            for row in family.get("series", ()):
+                labels = row.get("labels", {})
+                key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+                value = row.get("value")
+                existing = index.get(key)
+                if existing is None:
+                    entry = {"labels": dict(labels), "value": value}
+                    index[key] = entry
+                    target["series"].append(entry)
+                elif target["kind"] == KIND_COUNTER and isinstance(
+                    value, (int, float)
+                ) and isinstance(existing["value"], (int, float)):
+                    existing["value"] += value
+                else:
+                    existing["value"] = value
+    for family in merged.values():
+        del family["_index"]
+    return merged
+
+
+def snapshot_total(
+    snapshot: Dict[str, Any], name: str, **labels: Any
+) -> float:
+    """Sum a family's numeric series values across a snapshot.
+
+    :param snapshot: A :meth:`MetricsRegistry.snapshot`-shaped dict
+        (possibly produced by :func:`merge_snapshots`).
+    :param name: Metric family name.
+    :param labels: If given, only series whose label sets contain every
+        ``key=value`` pair are summed.
+    :returns: The total, 0.0 if the family is absent.
+    """
+    family = snapshot.get(name)
+    if family is None:
+        return 0.0
+    wanted = {key: str(value) for key, value in labels.items()}
+    total = 0.0
+    for row in family.get("series", ()):
+        row_labels = {
+            str(k): str(v) for k, v in row.get("labels", {}).items()
+        }
+        if any(row_labels.get(k) != v for k, v in wanted.items()):
+            continue
+        value = row.get("value")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            total += value
+    return total

@@ -32,6 +32,12 @@ class SimulationError(RuntimeError):
 class Simulator:
     """A deterministic discrete-event simulator.
 
+    This is one of two implementations of the
+    :class:`repro.runtime.Runtime` backend contract (``now`` +
+    ``call_at`` / ``call_after``); the other is the wall-clock
+    :class:`repro.live.runtime.LiveRuntime`, which runs the same
+    protocol classes over real sockets.
+
     Example
     -------
     >>> sim = Simulator()

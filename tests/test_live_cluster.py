@@ -1,0 +1,190 @@
+"""Cluster driver: scenario algebra, snapshot merging, and one real run.
+
+The integration test at the bottom boots an actual 3-cub localhost
+cluster (5 OS processes plus the driver) for a few wall-clock seconds,
+kills a cub mid-run, and asserts the merged metrics show mirror
+takeover and zero invariant violations — the same contract the CI
+live-smoke job enforces through the CLI.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.faults.live import LiveFaultError, LiveFaultInjector, kill_cub_plan
+from repro.faults.plan import FaultPlan
+from repro.live.cluster import (
+    ClusterScenario,
+    compare_counters,
+    run_cluster,
+    run_scenario_in_sim,
+)
+from repro.live.node import config_from_dict, config_to_dict
+from repro.obs.registry import merge_snapshots, snapshot_total
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+def test_scenario_validation():
+    with pytest.raises(ValueError, match="at least 3 cubs"):
+        ClusterScenario(cubs=2)
+    with pytest.raises(ValueError, match="too short"):
+        ClusterScenario(duration=0.5)
+    with pytest.raises(ValueError, match="out of range"):
+        ClusterScenario(cubs=4, kill_cub=4)
+
+
+def test_scenario_namespaces_are_disjoint():
+    scenario = ClusterScenario(cubs=4)
+    spaces = [
+        scenario.namespace_of(address)
+        for address in scenario.node_addresses()
+    ] + [scenario.driver_namespace]
+    assert len(spaces) == len(set(spaces))
+    assert 0 not in spaces  # namespace 0 flags a forgotten reset
+
+
+def test_scenario_plans_are_deterministic():
+    scenario = ClusterScenario(cubs=4, streams=3)
+    assert scenario.stream_plan() == scenario.stream_plan()
+    assert scenario.stream_plan()[1] == (1, 1, 1.25)
+    assert scenario.stop_plan() == [(0, 12.0)]
+    assert scenario.kill_time() is None
+    assert ClusterScenario(cubs=4, kill_cub=1).kill_time() == 8.0
+
+
+def test_config_round_trips_through_node_spec():
+    config = small_config(deadman_timeout=3.0)
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt.num_cubs == config.num_cubs
+    assert rebuilt.deadman_timeout == 3.0
+    assert rebuilt.num_slots == config.num_slots
+    assert rebuilt.block_service_time == config.block_service_time
+    with pytest.raises(ValueError, match="unknown config fields"):
+        config_from_dict({"num_cubs": 4, "warp_drive": True})
+
+
+# ----------------------------------------------------------------------
+# Fault plumbing
+# ----------------------------------------------------------------------
+def test_live_injector_rejects_unsupported_fault_kinds():
+    plan = FaultPlan().drop_messages(rate=0.1, start=0.0, duration=5.0)
+    with pytest.raises(LiveFaultError, match="net.drop"):
+        LiveFaultInjector(cluster=None, plan=plan)
+    restart = FaultPlan().crash_cub(1, at=2.0, restart_after=3.0)
+    with pytest.raises(LiveFaultError, match="cub.restart"):
+        LiveFaultInjector(cluster=None, plan=restart)
+
+
+def test_kill_cub_plan_is_one_supported_crash():
+    plan = kill_cub_plan(2, at=4.5)
+    (spec,) = plan.events
+    assert spec.kind == "cub.crash"
+    assert spec.target == "cub:2"
+    assert spec.start == 4.5
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+def _family(kind, *rows):
+    return {
+        "kind": kind,
+        "help": "",
+        "unit": "",
+        "series": [{"labels": labels, "value": value} for labels, value in rows],
+    }
+
+
+def test_merge_snapshots_sums_counters_and_keeps_last_gauge():
+    node_a = {
+        "cub.blocks_sent": _family("counter", ({"cub": "cub:0"}, 10)),
+        "live.clock_skew": _family("gauge", ({"node": "cub:0"}, 0.5)),
+    }
+    node_b = {
+        "cub.blocks_sent": _family(
+            "counter", ({"cub": "cub:0"}, 5), ({"cub": "cub:1"}, 7)
+        ),
+        "live.clock_skew": _family("gauge", ({"node": "cub:0"}, 0.1)),
+    }
+    merged = merge_snapshots([node_a, node_b])
+    assert snapshot_total(merged, "cub.blocks_sent") == 22
+    assert snapshot_total(merged, "cub.blocks_sent", cub="cub:1") == 7
+    (skew,) = [
+        row["value"] for row in merged["live.clock_skew"]["series"]
+    ]
+    assert skew == 0.1  # gauges: last snapshot wins
+
+
+def test_snapshot_total_filters_by_labels_and_skips_non_numeric():
+    snap = {
+        "x": _family(
+            "counter",
+            ({"node": "a"}, 3),
+            ({"node": "b"}, 4),
+            ({"node": "c"}, {"histogram": "summary"}),
+        )
+    }
+    assert snapshot_total(snap, "x") == 7
+    assert snapshot_total(snap, "x", node="a") == 3
+    assert snapshot_total(snap, "missing") == 0.0
+
+
+# ----------------------------------------------------------------------
+# The DES replay and the comparison contract
+# ----------------------------------------------------------------------
+def test_sim_replay_produces_protocol_traffic():
+    scenario = ClusterScenario(cubs=4, streams=3, duration=12.0)
+    snapshot = run_scenario_in_sim(scenario)
+    assert snapshot_total(snapshot, "controller.starts_routed") == 3
+    assert snapshot_total(snapshot, "cub.inserts_performed") == 3
+    assert snapshot_total(snapshot, "cub.blocks_sent") > 0
+    assert snapshot_total(snapshot, "cub.viewer_states_forwarded") > 0
+
+
+def test_sim_replay_with_kill_exercises_the_mirror_path():
+    scenario = ClusterScenario(
+        cubs=4, streams=4, duration=16.0, kill_cub=1
+    )
+    snapshot = run_scenario_in_sim(scenario)
+    assert snapshot_total(snapshot, "cub.mirror_pieces_sent") > 0
+
+
+def test_compare_counters_flags_only_out_of_band_values():
+    scenario = ClusterScenario(cubs=4, streams=3, duration=12.0)
+    snapshot = run_scenario_in_sim(scenario)
+    rows = compare_counters(snapshot, snapshot)  # identical: all pass
+    assert rows and all(ok for *_, ok in rows)
+
+    drifted = {
+        "cub.blocks_sent": _family(
+            "counter",
+            ({}, snapshot_total(snapshot, "cub.blocks_sent") * 10 + 1000),
+        )
+    }
+    rows = compare_counters(snapshot, drifted)
+    by_name = {row[0]: row for row in rows}
+    assert not by_name["cub.blocks_sent"][4]
+
+
+# ----------------------------------------------------------------------
+# One real cluster, end to end
+# ----------------------------------------------------------------------
+def test_live_cluster_survives_a_cub_kill():
+    scenario = ClusterScenario(
+        cubs=3,
+        streams=3,
+        duration=10.0,
+        kill_cub=1,
+        kill_at=4.0,
+        num_files=4,
+        file_duration_s=60.0,
+    )
+    report = run_cluster(scenario)
+    assert report.kills == [(pytest.approx(4.0, abs=0.5), "cub:1")]
+    assert snapshot_total(report.merged, "live.invariant_violations") == 0
+    assert snapshot_total(report.merged, "cub.mirror_pieces_sent") > 0
+    assert snapshot_total(report.merged, "live.client_blocks_received") > 0
+    assert not report.unexpected_exits
+    assert not report.wire_errors
+    assert report.passed, report.render()

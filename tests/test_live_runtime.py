@@ -1,0 +1,113 @@
+"""LiveRuntime: the wall-clock implementation of the Runtime contract."""
+
+import asyncio
+
+import pytest
+
+from repro.live.runtime import LiveRuntime, LiveTimer
+from repro.live.transport import NullTransport
+from repro.runtime import Runtime, TimerHandle, Transport
+from repro.sim.core import Simulator
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_backends_satisfy_the_runtime_protocol():
+    assert isinstance(Simulator(), Runtime)
+    assert isinstance(LiveRuntime(epoch=0.0), Runtime)
+    assert isinstance(NullTransport(), Transport)
+
+
+def test_now_is_measured_from_the_epoch():
+    async def scenario():
+        runtime = LiveRuntime()
+        assert -0.1 < runtime.now < 0.1
+        future = LiveRuntime(epoch=runtime.epoch + 100.0)
+        assert future.now < -99.0  # pre-epoch clocks read negative
+
+    _run(scenario())
+
+
+def test_call_after_fires_in_order_with_arguments():
+    async def scenario():
+        runtime = LiveRuntime()
+        fired = []
+        runtime.call_after(0.02, fired.append, "second")
+        runtime.call_after(0.0, fired.append, "first")
+        await asyncio.sleep(0.08)
+        assert fired == ["first", "second"]
+        assert runtime.events_dispatched == 2
+
+    _run(scenario())
+
+
+def test_call_at_in_the_past_clamps_to_immediately():
+    async def scenario():
+        runtime = LiveRuntime()
+        fired = []
+        timer = runtime.call_at(runtime.now - 5.0, fired.append, "late")
+        assert isinstance(timer, LiveTimer)
+        assert isinstance(timer, TimerHandle)
+        await asyncio.sleep(0.03)
+        assert fired == ["late"]
+
+    _run(scenario())
+
+
+def test_negative_delay_is_still_a_bug():
+    async def scenario():
+        runtime = LiveRuntime()
+        with pytest.raises(ValueError, match="negative delay"):
+            runtime.call_after(-0.5, lambda: None)
+
+    _run(scenario())
+
+
+def test_cancelled_timer_never_fires():
+    async def scenario():
+        runtime = LiveRuntime()
+        fired = []
+        timer = runtime.call_after(0.01, fired.append, "no")
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        await asyncio.sleep(0.04)
+        assert fired == []
+        assert runtime.events_dispatched == 0
+
+    _run(scenario())
+
+
+def test_callback_exceptions_are_recorded_not_fatal():
+    async def scenario():
+        runtime = LiveRuntime()
+        fired = []
+
+        def explode():
+            raise RuntimeError("boom")
+
+        runtime.call_after(0.0, explode)
+        runtime.call_after(0.02, fired.append, "survived")
+        await asyncio.sleep(0.08)
+        assert fired == ["survived"]
+        assert runtime.callback_errors == 1
+        (when, name, trace), = runtime.errors
+        assert "explode" in name
+        assert "boom" in trace
+
+    _run(scenario())
+
+
+def test_cancel_all_silences_everything():
+    async def scenario():
+        runtime = LiveRuntime()
+        fired = []
+        for _ in range(10):
+            runtime.call_after(0.01, fired.append, "x")
+        runtime.cancel_all()
+        await asyncio.sleep(0.04)
+        assert fired == []
+
+    _run(scenario())

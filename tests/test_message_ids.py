@@ -1,0 +1,74 @@
+"""Message-id allocation: resettable, namespaced, collision-free."""
+
+import pytest
+
+from repro.net.message import (
+    MESSAGE_ID_SEQUENCE_BITS,
+    Message,
+    MessageIdAllocator,
+    next_message_id,
+    reset_message_ids,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_sequence():
+    yield
+    reset_message_ids()
+
+
+def test_reset_restarts_the_sequence():
+    reset_message_ids()
+    first = [next_message_id() for _ in range(5)]
+    reset_message_ids()
+    second = [next_message_id() for _ in range(5)]
+    assert first == second == list(range(5))
+
+
+def test_namespaces_mint_disjoint_id_ranges():
+    base = 1 << MESSAGE_ID_SEQUENCE_BITS
+    reset_message_ids(namespace=3)
+    ids_ns3 = [next_message_id() for _ in range(4)]
+    reset_message_ids(namespace=7)
+    ids_ns7 = [next_message_id() for _ in range(4)]
+    assert ids_ns3 == [3 * base + i for i in range(4)]
+    assert ids_ns7 == [7 * base + i for i in range(4)]
+    assert not set(ids_ns3) & set(ids_ns7)
+
+
+def test_messages_pick_up_the_active_namespace():
+    reset_message_ids(namespace=2)
+    message = Message("cub:0", "cub:1", None, 100)
+    assert message.msg_id >> MESSAGE_ID_SEQUENCE_BITS == 2
+
+
+def test_independent_allocators_do_not_share_state():
+    alpha = MessageIdAllocator(namespace=1)
+    beta = MessageIdAllocator(namespace=1)
+    assert alpha.allocate() == beta.allocate()
+    alpha.allocate()
+    assert beta.allocate() == alpha.allocate() - 1
+
+
+def test_negative_namespace_rejected():
+    with pytest.raises(ValueError):
+        MessageIdAllocator(namespace=-1)
+
+
+def test_back_to_back_systems_allocate_identical_ids():
+    from repro.config import small_config
+    from repro.core.tiger import TigerSystem
+
+    def id_fingerprint():
+        system = TigerSystem(small_config())
+        system.add_standard_content(num_files=2, duration_s=30.0)
+        client = system.add_client()
+        system.sim.call_at(1.0, client.start_stream, 1)
+        system.run_until(3.0)
+        # The next id to be minted counts every message the run sent.
+        return next_message_id()
+
+    # The constructor resets the sequence, so back-to-back systems in
+    # one process mint identical ids for identical traffic instead of
+    # continuing a process-global counter.
+    assert id_fingerprint() == id_fingerprint()

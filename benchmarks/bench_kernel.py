@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Driver for the event-kernel benchmarks: kernel, fig-8, chaos.
+
+Thin wrapper around :mod:`repro.bench` so CI (and a developer at a
+shell) can run the hot-loop workloads without the scale sweep::
+
+    python benchmarks/bench_kernel.py --quick --out-dir bench-out
+    python benchmarks/bench_kernel.py --baseline benchmarks/baselines
+
+Writes ``BENCH_kernel.json``, ``BENCH_fig8.json`` and
+``BENCH_chaos.json`` into ``--out-dir``.  See ``docs/BENCHMARKS.md``
+for the JSON schema and the baseline-diff workflow.
+"""
+
+import argparse
+import importlib.util
+import os
+import sys
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+    )
+
+
+def main(argv=None) -> int:
+    from repro.bench import run_bench
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--no-memory", action="store_true")
+    parser.add_argument("--baseline", metavar="DIR", default=None)
+    parser.add_argument("--perf-tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    return run_bench(
+        workloads=["kernel", "fig8", "chaos"],
+        out_dir=args.out_dir,
+        seed=args.seed,
+        quick=args.quick,
+        with_memory=not args.no_memory,
+        baseline_dir=args.baseline,
+        perf_tolerance=args.perf_tolerance,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Driver for the cub-count scale sweep benchmark.
+
+Runs 4 -> 64 cubs (4 -> 16 with ``--quick``) at ~50% load and writes
+``BENCH_scale.json``, probing the paper's §3.3 claim that distributed
+schedule management keeps per-cub work constant as the system grows::
+
+    python benchmarks/bench_scale.py --out-dir bench-out
+    python benchmarks/bench_scale.py --quick --baseline benchmarks/baselines
+
+See ``docs/BENCHMARKS.md`` for the JSON schema.
+"""
+
+import argparse
+import importlib.util
+import os
+import sys
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+    )
+
+
+def main(argv=None) -> int:
+    from repro.bench import run_bench
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--baseline", metavar="DIR", default=None)
+    parser.add_argument("--perf-tolerance", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    return run_bench(
+        workloads=["scale"],
+        out_dir=args.out_dir,
+        seed=args.seed,
+        quick=args.quick,
+        with_memory=False,
+        baseline_dir=args.baseline,
+        perf_tolerance=args.perf_tolerance,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

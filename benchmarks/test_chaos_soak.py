@@ -110,6 +110,21 @@ def test_chaos_soak(benchmark):
         # missed, or late — never silently lost from the ledger.
         totals = report.totals
         assert totals["client_corrupt"] == 0, (name, seed)
+        # Fabric accounting identity: every send attempt is either
+        # dropped or scheduled, duplicates add scheduled copies, and
+        # whatever was scheduled but not delivered is still in flight.
+        # Holds exactly even under duplicate-then-drop fault mixes.
+        assert (
+            totals["messages_sent"]
+            - totals["messages_dropped"]
+            + totals["messages_duplicated"]
+            == totals["messages_scheduled"]
+        ), (name, seed, totals)
+        assert (
+            totals["messages_scheduled"] - totals["messages_delivered"]
+            == totals["messages_in_flight"]
+        ), (name, seed, totals)
+        assert totals["messages_in_flight"] >= 0, (name, seed, totals)
 
     first = reports[("standard", SEEDS[0])]
     assert replay.fingerprint == first.fingerprint, (

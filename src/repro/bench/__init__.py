@@ -1,0 +1,38 @@
+"""Performance benchmark subsystem (``repro bench``).
+
+See :mod:`repro.bench.harness` for the workload matrix, the
+``BENCH_<name>.json`` schema, and the baseline-diff gate; the
+user-facing documentation lives in ``docs/BENCHMARKS.md``.
+"""
+
+from repro.bench.harness import (
+    BENCH_FORMAT,
+    DEFAULT_PERF_TOLERANCE,
+    PROTOCOL_COUNTERS,
+    WORKLOADS,
+    BenchError,
+    diff_results,
+    load_result,
+    protocol_counters,
+    result_filename,
+    run_bench,
+    run_workload,
+    summary_lines,
+    write_result,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "DEFAULT_PERF_TOLERANCE",
+    "PROTOCOL_COUNTERS",
+    "WORKLOADS",
+    "BenchError",
+    "diff_results",
+    "load_result",
+    "protocol_counters",
+    "result_filename",
+    "run_bench",
+    "run_workload",
+    "summary_lines",
+    "write_result",
+]

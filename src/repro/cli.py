@@ -12,6 +12,10 @@ Subcommands:
 * ``trace``    — run the failover drill with tracing on and export a
                  Chrome ``trace_event`` file (open in about://tracing);
 * ``metrics``  — run a workload and print/export the metrics registry;
+* ``bench``    — run the performance benchmark matrix (event kernel,
+                 fig-8 full load, chaos mix, cub-count scale sweep) and
+                 write machine-readable ``BENCH_<name>.json`` files,
+                 optionally gated against a ``--baseline`` directory;
 * ``report``   — regenerate EXPERIMENTS.md from benchmark results;
 * ``cluster``  — run the schedule protocol over real sockets: one OS
                  process per cub/controller on localhost, optional
@@ -31,6 +35,8 @@ Usage::
     python -m repro chaos --seconds 90 --drop-rate 0.01 --trace out.json
     python -m repro trace --out failover.json
     python -m repro metrics --seconds 60 --profile
+    python -m repro bench --quick --out-dir bench-out
+    python -m repro bench --baseline benchmarks/baselines --quick
     python -m repro report
     python -m repro cluster --cubs 4 --duration 20 --compare-sim
     python -m repro cluster --cubs 3 --duration 15 --kill-cub 1
@@ -90,6 +96,14 @@ def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
     return system
 
 
+def _bad_victim(args, config) -> bool:
+    """Validate a ``--victim`` cub id against the chosen config."""
+    if 0 <= args.victim < config.num_cubs:
+        return False
+    print(f"error: --victim must be a cub id in 0..{config.num_cubs - 1}")
+    return True
+
+
 def cmd_demo(args) -> int:
     tracer = _make_tracer(args)
     system = _build_system(args, tracer=tracer)
@@ -126,6 +140,8 @@ def cmd_demo(args) -> int:
 
 
 def cmd_failover(args) -> int:
+    if _bad_victim(args, paper_config() if args.paper else small_config()):
+        return 2
     system = _build_system(args)
     workload = ContinuousWorkload(system)
     target = int(system.config.num_slots * args.load)
@@ -179,10 +195,7 @@ def cmd_chaos(args) -> int:
     if args.seconds <= 0:
         print("error: --seconds must be positive")
         return 2
-    if not 0 <= args.victim < config.num_cubs:
-        print(
-            f"error: --victim must be a cub id in 0..{config.num_cubs - 1}"
-        )
+    if _bad_victim(args, config):
         return 2
     try:
         plan = standard_chaos_plan(
@@ -229,6 +242,8 @@ def cmd_chaos(args) -> int:
 
 def cmd_trace(args) -> int:
     """Failover drill with tracing on; exports a Chrome trace."""
+    if _bad_victim(args, paper_config() if args.paper else small_config()):
+        return 2
     tracer = Tracer(capacity=CLI_TRACE_CAPACITY)
     tracer.enable()
     system = _build_system(args, tracer=tracer)
@@ -290,6 +305,26 @@ def cmd_metrics(args) -> int:
         print(f"\nwrote registry snapshot to {args.out}")
     system.assert_invariants()
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark matrix and write BENCH_<name>.json files."""
+    # Imported lazily: the bench harness drags in tracemalloc/platform
+    # plumbing no other subcommand needs.
+    from repro.bench import run_bench
+
+    workloads = None
+    if args.workloads:
+        workloads = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    return run_bench(
+        workloads=workloads,
+        out_dir=args.out_dir,
+        seed=args.seed,
+        quick=args.quick,
+        with_memory=not args.no_memory,
+        baseline_dir=args.baseline,
+        perf_tolerance=args.perf_tolerance,
+    )
 
 
 def cmd_report(args) -> int:
@@ -406,6 +441,28 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--out", default=None,
                          help="also write the snapshot JSON here")
     metrics.set_defaults(func=cmd_metrics)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the performance benchmark matrix")
+    bench.add_argument("--workloads", default=None, metavar="NAMES",
+                       help="comma-separated subset of "
+                            "kernel,fig8,chaos,scale (default: all)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<name>.json files")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced-scale variant for CI smoke runs")
+    bench.add_argument("--no-memory", action="store_true",
+                       help="skip the instrumented pass (no tracemalloc/"
+                            "profiler data; faster)")
+    bench.add_argument("--baseline", metavar="DIR", default=None,
+                       help="diff each result against BENCH_<name>.json "
+                            "in this directory; exit 1 on regression")
+    bench.add_argument("--perf-tolerance", type=float, default=0.10,
+                       help="relative events/sec drop tolerated by the "
+                            "baseline gate (<=0 disables the perf check; "
+                            "counters always compare exactly)")
+    bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
     report.add_argument("--results", default="benchmarks/results")

@@ -72,6 +72,29 @@ from repro.storage.mirror import MirrorScheme
 _EPS = 1e-9
 
 
+class _ServiceHandle:
+    """Duck-typed stand-in for a kernel :class:`Event` in a deadline
+    bucket: same ``cancel()`` / ``active`` / ``time`` surface, so the
+    per-instance bookkeeping (`_track_instance_events`) treats batched
+    and one-shot scheduling identically — but it is a plain record, not
+    a heap entry, so a bucketed action costs no kernel push/pop."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn, args) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+
 def cub_address(cub_id: int) -> str:
     return f"cub:{cub_id}"
 
@@ -96,6 +119,7 @@ class Cub(NetworkNode):
         strict: bool = True,
         forward_copies: int = 2,
         registry: Optional[MetricsRegistry] = None,
+        batched_service: bool = True,
     ) -> None:
         super().__init__(sim, cub_address(cub_id), tracer)
         self.cub_id = cub_id
@@ -158,6 +182,13 @@ class Cub(NetworkNode):
         self._aborted_service: Set[Tuple] = set()
         #: Pending service events per play instance (for deschedule).
         self._instance_events: Dict[int, List[Event]] = {}
+        #: Batch block-service actions into per-deadline buckets drained
+        #: by one kernel event each (reads quantized to the slot-period
+        #: grid); False keeps the seed's per-viewer one-shot timers —
+        #: the differential test runs both and compares counters.
+        self.batched_service = batched_service
+        #: Deadline buckets: fire time -> pending service actions.
+        self._service_buckets: Dict[float, List[_ServiceHandle]] = {}
 
         #: Modelled CPU (packetization dominates; see DESIGN.md).
         self.cpu = BusyMeter(sim.now)
@@ -208,6 +239,18 @@ class Cub(NetworkNode):
             "cub.inserts_performed",
             help="Slot insertions performed at owned ownership instants",
             unit="inserts", cub=cub_id)
+        self.admission_rejects = metric(
+            "cub.admission_rejects",
+            help="Ownership instants skipped by the admission guard",
+            unit="instants", cub=cub_id)
+        self.mirror_covers = metric(
+            "cub.mirror_covers",
+            help="Lost blocks covered by declustered mirror states",
+            unit="blocks", cub=cub_id)
+        self.deadman_resurrections = metric(
+            "cub.deadman_resurrections",
+            help="Believed-dead neighbours heard from again",
+            unit="events", cub=cub_id)
 
         self._started = False
 
@@ -226,7 +269,8 @@ class Cub(NetworkNode):
         return monitor
 
     def _on_neighbour_recovered(self, cub_id: int) -> None:
-        """A believed-dead neighbour was heard again (trace hook only)."""
+        """A believed-dead neighbour was heard again."""
+        self.deadman_resurrections.increment()
         self.trace(
             "deadman.resurrect",
             f"heard cub {cub_id} again, believing it alive",
@@ -262,6 +306,9 @@ class Cub(NetworkNode):
         self._redundant_requests.clear()
         self._ready_reads.clear()
         self._instance_events.clear()
+        # The drain events were cancelled by fail(); their buckets must
+        # go too or a re-used fire time would run pre-crash actions.
+        self._service_buckets.clear()
         # Service events were cancelled by fail(); drop their bookkeeping
         # too, or the entries would linger as phantom slot ownership.
         self._pending_service.clear()
@@ -359,6 +406,46 @@ class Cub(NetworkNode):
             self._schedule_block_service(state, disk)
         self._forward_queue.append(state)
 
+    def _service_at(self, when: float, fn, *args, quantize: bool = False):
+        """Schedule a block-service action via a deadline bucket.
+
+        All actions sharing a fire time ride one kernel event (the
+        bucket drain), so a loaded cub schedules one heap entry per
+        distinct deadline instead of one per viewer.  ``quantize``
+        floors the fire time to the cub's slot-period grid — safe only
+        for actions that may run *early* (disk-read issues, which have
+        the whole ``disk_read_lead`` of slack; never block sends, whose
+        exact due time is the protocol's service discipline) — which is
+        what batches the 1-per-disk-per-period reads into a single
+        per-slot-period tick.
+
+        Returns an Event (legacy mode) or a :class:`_ServiceHandle`;
+        both carry ``cancel()``/``active`` for instance bookkeeping.
+        """
+        if not self.batched_service:
+            return self.at(when, fn, *args)
+        now = self.sim.now
+        if quantize:
+            period = self.config.block_service_time
+            floored = int(when / period) * period
+            if floored > when:  # float-division rounding guard
+                floored -= period
+            when = floored if floored > now else now
+        handle = _ServiceHandle(when, fn, args)
+        bucket = self._service_buckets.get(when)
+        if bucket is None:
+            self._service_buckets[when] = [handle]
+            self.at(when, self._drain_service_bucket, when)
+        else:
+            bucket.append(handle)
+        return handle
+
+    def _drain_service_bucket(self, when: float) -> None:
+        """The batched tick: run every still-live action at ``when``."""
+        for handle in self._service_buckets.pop(when, ()):
+            if not handle.cancelled:
+                handle.fn(*handle.args)
+
     def _schedule_block_service(self, state: ViewerState, disk: SimDisk) -> None:
         """Issue the read ahead of time; transmit exactly at the due time."""
         key = state.key()
@@ -378,8 +465,8 @@ class Cub(NetworkNode):
                 on_error=lambda: None,
             )
 
-        read_event = self.at(read_at, issue_read)
-        send_event = self.at(state.due_time, self._transmit_block, state)
+        read_event = self._service_at(read_at, issue_read, quantize=True)
+        send_event = self._service_at(state.due_time, self._transmit_block, state)
         self._pending_service[key] = state
         self._track_instance_events(state.instance, [read_event, send_event])
 
@@ -570,6 +657,7 @@ class Cub(NetworkNode):
 
     def _cover_with_mirrors(self, state: ViewerState) -> None:
         """Create mirror viewer states for a block on a dead disk."""
+        self.mirror_covers.increment()
         if self.tracer.enabled:
             self.trace(
                 "mirror.cover",
@@ -639,8 +727,8 @@ class Cub(NetworkNode):
                 on_error=lambda: None,
             )
 
-        read_event = self.at(read_at, issue_read)
-        send_event = self.at(
+        read_event = self._service_at(read_at, issue_read, quantize=True)
+        send_event = self._service_at(
             mirror_state.due_time, self._transmit_mirror_piece, mirror_state
         )
         self._track_instance_events(mirror_state.instance, [read_event, send_event])
@@ -878,6 +966,7 @@ class Cub(NetworkNode):
             queue.popleft()
         if queue and not self.view.occupied_at(slot, visit):
             if self._admission_blocked():
+                self.admission_rejects.increment()
                 if self.tracer.enabled:
                     self.trace(
                         "admission.reject",
@@ -1006,8 +1095,13 @@ class Cub(NetworkNode):
         bucket = self._instance_events.setdefault(instance, [])
         bucket.extend(events)
         if len(bucket) > 32:
+            # Fired events stay "active" forever; prune by time as well
+            # or a long-playing instance's bucket grows without bound.
+            now = self.sim.now
             self._instance_events[instance] = [
-                event for event in bucket if event.active
+                event
+                for event in bucket
+                if not event.cancelled and event.time >= now
             ]
 
     def _cancel_instance_events(self, instance: int) -> None:

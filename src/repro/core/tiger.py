@@ -41,6 +41,7 @@ class TigerSystem:
         strict: bool = True,
         forward_copies: int = 2,
         registry: Optional[MetricsRegistry] = None,
+        batched_service: bool = True,
     ) -> None:
         self.config = config
         self.sim = Simulator()
@@ -95,6 +96,7 @@ class TigerSystem:
                 strict=strict,
                 forward_copies=forward_copies,
                 registry=self.registry,
+                batched_service=batched_service,
             )
             self.network.register(cub, config.cub_nic_bps)
             self.cubs.append(cub)
@@ -254,12 +256,24 @@ class TigerSystem:
         """
         now = self.sim.now
         gauge = self.registry.gauge
+        gauge("net.messages_sent",
+              help="Send attempts offered to the switch fabric",
+              unit="messages").set(self.network.messages_sent)
+        gauge("net.messages_scheduled",
+              help="Delivery events enqueued by the switch fabric",
+              unit="messages").set(self.network.messages_scheduled)
+        gauge("net.messages_duplicated",
+              help="Extra message copies enqueued by fault injection",
+              unit="messages").set(self.network.messages_duplicated)
         gauge("net.messages_delivered",
               help="Messages delivered by the switch fabric",
               unit="messages").set(self.network.messages_delivered)
         gauge("net.messages_dropped",
               help="Messages dropped (failed nodes, partitions, faults)",
               unit="messages").set(self.network.messages_dropped)
+        gauge("net.messages_in_flight",
+              help="Delivery events enqueued but not yet dispatched",
+              unit="messages").set(self.network.messages_in_flight)
         gauge("oracle.inserts", help="Slot insertions the oracle observed",
               unit="inserts").set(self.oracle.inserts)
         gauge("oracle.removes", help="Slot removals the oracle observed",

@@ -37,7 +37,7 @@ def new_instance_id() -> int:
     return next(_instance_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewerState:
     """One schedule entry, targeted at a specific disk visit."""
 
@@ -76,7 +76,7 @@ class ViewerState:
         return self.due_time - now
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MirrorViewerState:
     """A schedule entry for one secondary piece of a lost block.
 
@@ -102,7 +102,7 @@ class MirrorViewerState:
         return (self.instance, self.play_seqno, self.piece)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DescheduleRequest:
     """Remove ``viewer_id``'s ``instance`` from ``slot`` — if present.
 

@@ -52,6 +52,7 @@ class SimDisk(Process):
         self.bytes_read = Counter()
         self.reads_errored = Counter()
         self._pending: List[Event] = []
+        self._pending_compact_at = 128
 
     # ------------------------------------------------------------------
     # I/O
@@ -104,8 +105,18 @@ class SimDisk(Process):
 
     def _track_pending(self, event: Event) -> None:
         self._pending.append(event)
-        if len(self._pending) > 128:
-            self._pending = [entry for entry in self._pending if entry.active]
+        # Completed reads stay "active" (never cancelled), so pruning
+        # must also drop past-time events or the list only ever grows;
+        # the threshold doubles with the surviving set to keep the
+        # rescan amortized O(1) per read.
+        if len(self._pending) > self._pending_compact_at:
+            now = self.sim.now
+            self._pending = [
+                entry
+                for entry in self._pending
+                if not entry.cancelled and entry.time >= now
+            ]
+            self._pending_compact_at = max(128, 2 * len(self._pending))
 
     # ------------------------------------------------------------------
     # Failure injection

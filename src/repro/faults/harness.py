@@ -83,6 +83,7 @@ class ChaosHarness:
         monitor_period: float = 1.0,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
@@ -98,6 +99,7 @@ class ChaosHarness:
         self.monitor_period = monitor_period
         self.tracer = tracer
         self.registry = registry
+        self.profiler = profiler
         # Populated by run() for post-mortem inspection.
         self.system: Optional[TigerSystem] = None
         self.monitor: Optional[InvariantMonitor] = None
@@ -114,6 +116,8 @@ class ChaosHarness:
         )
         self.system = system
         self.registry = system.registry
+        if self.profiler is not None:
+            system.sim.set_profiler(self.profiler)
         system.add_standard_content(
             num_files=self.num_files, duration_s=self.file_seconds
         )
@@ -165,8 +169,12 @@ class ChaosHarness:
             "client_missed": system.total_client_missed(),
             "client_late": system.total_client_late(),
             "client_corrupt": system.total_client_corrupt(),
+            "messages_sent": system.network.messages_sent,
+            "messages_scheduled": system.network.messages_scheduled,
+            "messages_duplicated": system.network.messages_duplicated,
             "messages_delivered": system.network.messages_delivered,
             "messages_dropped": system.network.messages_dropped,
+            "messages_in_flight": system.network.messages_in_flight,
             "oracle_inserts": system.oracle.inserts,
             "oracle_removes": system.oracle.removes,
         }

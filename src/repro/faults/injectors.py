@@ -71,6 +71,11 @@ class MessageFaultInjector:
         self.messages_delayed = 0
         self.messages_duplicated = 0
         self.messages_reordered = 0
+        #: True while the most recent :meth:`perturb` applied a
+        #: deliberate reorder fault — the fabric reads this to leave its
+        #: per-flow FIFO floor untouched (reordering is the *point* of
+        #: that fault) and to trace the delivery as ``net.reorder``.
+        self.last_deliberate_reorder = False
 
     def install(self) -> None:
         if self.network.fault_injector is not None:
@@ -88,6 +93,7 @@ class MessageFaultInjector:
 
     def perturb(self, message: Any, now: float, arrival: float) -> List[float]:
         self.messages_seen += 1
+        self.last_deliberate_reorder = False
 
         for spec in self._active(self._drop, now):
             if not self._kind_matches(spec, message):
@@ -116,6 +122,7 @@ class MessageFaultInjector:
                 shift = self._rng.random() * spec.get("shift", 0.0)
                 times = [when + shift for when in times]
                 self.messages_reordered += 1
+                self.last_deliberate_reorder = True
 
         for spec in self._active(self._duplicate, now):
             if not self._kind_matches(spec, message):

@@ -91,7 +91,7 @@ def reset_message_ids(namespace: int = 0) -> None:
     _allocator.reset(namespace)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unit of traffic between two network addresses.
 

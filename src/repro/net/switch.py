@@ -67,8 +67,17 @@ class SwitchedNetwork:
         # "control traffic" series and the §3.3 scalability table.
         self.control_bytes_from: Dict[str, RateMeter] = {}
         self.data_bytes_from: Dict[str, RateMeter] = {}
+        #: Send attempts (every ``send``/``send_paced`` call).
+        self.messages_sent = 0
+        #: Delivery events enqueued into the simulator.
+        self.messages_scheduled = 0
+        #: Extra copies enqueued beyond the original (fault injection).
+        self.messages_duplicated = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Hot-path cache: (node, nic, control meter, data meter) per
+        # address, so a send does one dict lookup instead of four.
+        self._endpoint: Dict[str, Tuple[NetworkNode, Nic, RateMeter, RateMeter]] = {}
 
     # ------------------------------------------------------------------
     # Topology management
@@ -81,6 +90,12 @@ class SwitchedNetwork:
         self._nics[node.address] = Nic(nic_bandwidth_bps, self.sim.now)
         self.control_bytes_from[node.address] = RateMeter(self.sim.now)
         self.data_bytes_from[node.address] = RateMeter(self.sim.now)
+        self._endpoint[node.address] = (
+            node,
+            self._nics[node.address],
+            self.control_bytes_from[node.address],
+            self.data_bytes_from[node.address],
+        )
 
     def node(self, address: str) -> NetworkNode:
         return self._nodes[address]
@@ -109,17 +124,67 @@ class SwitchedNetwork:
             or message.dst in self._isolated
         )
 
-    def _schedule_delivery(self, message: Message, arrival: float) -> bool:
-        """Final fabric stage: apply the fault injector, then enqueue."""
+    def _schedule_delivery(
+        self, message: Message, arrival: float, fifo: bool = True
+    ) -> bool:
+        """Final fabric stage: FIFO clamp, fault injector, enqueue.
+
+        The per-flow FIFO floor is maintained here — from the arrival
+        times *actually scheduled* — not from the nominal pre-fault
+        arrival: an injector-delayed message must still not be overtaken
+        by a later send on the same flow (§4.1.3's deschedule-before-
+        insert ordering rides on that guarantee).  The one sanctioned
+        exception is a deliberate reorder fault, which leaves the floor
+        untouched (so later sends *can* overtake it) and is traced
+        distinctly as ``net.reorder``.
+
+        ``fifo=False`` is the paced-data path: paced streams are
+        cell-interleaved on the ATM fabric, so a small transfer (a
+        mirror piece) is NOT serialized behind a large in-flight block
+        to the same client and no floor applies.
+        """
+        flow = (message.src, message.dst)
+        if fifo:
+            floor = self._last_arrival.get(flow, -1.0) + _FIFO_EPSILON
+            if arrival < floor:
+                arrival = floor
         if self.fault_injector is None:
+            if fifo:
+                self._last_arrival[flow] = arrival
+            self.messages_scheduled += 1
             self.sim.call_at(arrival, self._deliver, message)
             return True
-        arrivals = self.fault_injector.perturb(message, self.sim.now, arrival)
+        now = self.sim.now
+        arrivals = self.fault_injector.perturb(message, now, arrival)
         if not arrivals:
             self.messages_dropped += 1
             return False
+        reordered = getattr(
+            self.fault_injector, "last_deliberate_reorder", False
+        )
+        if len(arrivals) > 1:
+            self.messages_duplicated += len(arrivals) - 1
+        latest = now
         for when in arrivals:
-            self.sim.call_at(max(when, self.sim.now), self._deliver, message)
+            if when < now:
+                when = now
+            self.messages_scheduled += 1
+            self.sim.call_at(when, self._deliver, message)
+            if when > latest:
+                latest = when
+        if fifo and not reordered:
+            # Floor from the actual (post-perturbation) arrivals, so a
+            # delayed or duplicated message keeps its flow in order.
+            if latest > self._last_arrival.get(flow, -1.0):
+                self._last_arrival[flow] = latest
+        elif reordered and self.tracer.enabled:
+            self.tracer.emit(
+                now,
+                "net.reorder",
+                f"{message.src}->{message.dst} deliberately reordered",
+                kind=message.kind,
+                node=message.src,
+            )
         return True
 
     def add_delivery_hook(self, hook: Callable[[Message, float], None]) -> None:
@@ -136,31 +201,27 @@ class SwitchedNetwork:
         + switch propagation latency + jitter, clamped to preserve
         per-flow FIFO order.
         """
-        src_node = self._nodes.get(message.src)
-        if src_node is None:
+        endpoint = self._endpoint.get(message.src)
+        if endpoint is None:
             raise KeyError(f"unknown source address {message.src!r}")
         if message.dst not in self._nodes:
             raise KeyError(f"unknown destination address {message.dst!r}")
+        src_node, nic, control_meter, data_meter = endpoint
+        self.messages_sent += 1
         if src_node.failed or self._link_blocked(message):
             self.messages_dropped += 1
             return False
 
-        nic = self._nics[message.src]
         departure = nic.enqueue(self.sim.now, message.size_bytes)
         jitter = self._rng.random() * self.latency_jitter
         arrival = departure + self.base_latency + jitter
 
-        flow = (message.src, message.dst)
-        floor = self._last_arrival.get(flow, -1.0) + _FIFO_EPSILON
-        arrival = max(arrival, floor)
-        self._last_arrival[flow] = arrival
-
         if message.kind == KIND_CONTROL:
-            self.control_bytes_from[message.src].add(message.size_bytes)
+            control_meter.add(message.size_bytes)
         elif message.kind == KIND_DATA:
-            self.data_bytes_from[message.src].add(message.size_bytes)
+            data_meter.add(message.size_bytes)
 
-        return self._schedule_delivery(message, arrival)
+        return self._schedule_delivery(message, arrival, fifo=True)
 
     def send_paced(self, message: Message, pacing_duration: float) -> bool:
         """Inject a stream-paced data message.
@@ -174,32 +235,33 @@ class SwitchedNetwork:
         """
         if pacing_duration < 0:
             raise ValueError("negative pacing duration")
-        src_node = self._nodes.get(message.src)
-        if src_node is None:
+        endpoint = self._endpoint.get(message.src)
+        if endpoint is None:
             raise KeyError(f"unknown source address {message.src!r}")
         if message.dst not in self._nodes:
             raise KeyError(f"unknown destination address {message.dst!r}")
+        src_node, nic, control_meter, data_meter = endpoint
+        self.messages_sent += 1
         if src_node.failed or self._link_blocked(message):
             self.messages_dropped += 1
             return False
 
-        nic = self._nics[message.src]
         nic.busy.add_busy(self.sim.now, nic.serialization_delay(message.size_bytes))
         nic.bytes_sent.add(message.size_bytes)
         nic.messages_sent += 1
 
         jitter = self._rng.random() * self.latency_jitter
         arrival = self.sim.now + pacing_duration + self.base_latency + jitter
-        # No per-flow FIFO floor here: paced streams are cell-interleaved
-        # on the ATM fabric, so a small transfer (a mirror piece) is NOT
-        # serialized behind a large in-flight block to the same client.
 
         if message.kind == KIND_CONTROL:
-            self.control_bytes_from[message.src].add(message.size_bytes)
+            control_meter.add(message.size_bytes)
         elif message.kind == KIND_DATA:
-            self.data_bytes_from[message.src].add(message.size_bytes)
+            data_meter.add(message.size_bytes)
 
-        return self._schedule_delivery(message, arrival)
+        # fifo=False: paced streams are cell-interleaved on the ATM
+        # fabric, so no per-flow FIFO floor applies (see
+        # _schedule_delivery).
+        return self._schedule_delivery(message, arrival, fifo=False)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
@@ -223,6 +285,20 @@ class SwitchedNetwork:
     # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
+    @property
+    def messages_in_flight(self) -> int:
+        """Delivery events enqueued but not yet dispatched.
+
+        The fabric counters reconcile exactly at all times::
+
+            messages_scheduled ==
+                messages_sent - messages_dropped + messages_duplicated
+
+        and ``in_flight == scheduled - delivered`` drains to zero once
+        the simulator runs past the last arrival.
+        """
+        return self.messages_scheduled - self.messages_delivered
+
     def control_rate_from(self, address: str, now: Optional[float] = None) -> float:
         """Control bytes/sec from ``address`` since the last snapshot."""
         return self.control_bytes_from[address].snapshot(

@@ -202,6 +202,12 @@ class MetricsRegistry:
             raise MetricError("max_series_per_family must be at least 1")
         self.max_series_per_family = max_series_per_family
         self._families: Dict[str, MetricFamily] = {}
+        # Fast path for repeated accessor calls: (kind, name, raw label
+        # items) -> series.  Keyed on the *raw* label values so a hit
+        # skips both the sort and the per-value stringification in
+        # :func:`_label_key`; unhashable values just fall through to the
+        # canonical slow path.
+        self._series_cache: Dict[Tuple[Any, ...], Any] = {}
         #: How many label sets were collapsed into overflow series.
         self.series_overflowed = 0
 
@@ -236,6 +242,15 @@ class MetricsRegistry:
     def _series(
         self, kind: str, name: str, help: str, unit: str, labels: Dict[str, Any]
     ) -> Any:
+        cache_key: Optional[Tuple[Any, ...]]
+        try:
+            cache_key = (kind, name, *labels.items())
+            cached = self._series_cache.get(cache_key)
+        except TypeError:  # unhashable label value
+            cache_key = None
+            cached = None
+        if cached is not None:
+            return cached
         if OVERFLOW_LABEL in labels:
             raise MetricError(f"label key {OVERFLOW_LABEL!r} is reserved")
         family = self._families.get(name)
@@ -250,18 +265,24 @@ class MetricsRegistry:
             )
         key = _label_key(labels)
         series = family.series.get(key)
-        if series is not None:
-            return series
-        if len(family.series) >= family.max_series:
-            # Cardinality guard: collapse into the overflow series.
-            self.series_overflowed += 1
-            if family._overflow is None:
-                family._overflow = _SERIES_TYPES[kind]({OVERFLOW_LABEL: "true"})
-            return family._overflow
-        series = _SERIES_TYPES[kind](
-            {key_: value for key_, value in key}
-        )
-        family.series[key] = series
+        if series is None:
+            if len(family.series) >= family.max_series:
+                # Cardinality guard: collapse into the overflow series.
+                # Deliberately not interned in the fast-path cache, so
+                # ``series_overflowed`` keeps counting every collapsed
+                # request.
+                self.series_overflowed += 1
+                if family._overflow is None:
+                    family._overflow = _SERIES_TYPES[kind](
+                        {OVERFLOW_LABEL: "true"}
+                    )
+                return family._overflow
+            series = _SERIES_TYPES[kind](
+                {key_: value for key_, value in key}
+            )
+            family.series[key] = series
+        if cache_key is not None:
+            self._series_cache[cache_key] = series
         return series
 
     # ------------------------------------------------------------------

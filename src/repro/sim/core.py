@@ -24,6 +24,10 @@ from typing import Any, Callable, List, Optional
 
 from repro.sim.events import PRIORITY_NORMAL, Event
 
+#: Lazy heap compaction floor: below this many tombstones the heap is
+#: never rebuilt, so cancel-light workloads pay nothing.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
@@ -57,6 +61,8 @@ class Simulator:
         self._events_dispatched = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap (lazy tombstones).
+        self._cancelled_in_heap = 0
         #: Optional event-loop profiler (duck-typed: ``record(fn, wall_s,
         #: sim_now)``); None keeps dispatch at one attribute check.
         self._profiler: Optional[Any] = None
@@ -116,6 +122,7 @@ class Simulator:
                 f"cannot schedule at t={time:.9f}, now is t={self._now:.9f}"
             )
         event = Event(time, fn, args, priority=priority)
+        event.owner = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -141,7 +148,9 @@ class Simulator:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.owner = None
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             self._events_dispatched += 1
@@ -159,8 +168,31 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next active event, or None if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).owner = None
+            self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
+
+    def _note_cancelled(self) -> None:
+        """An event currently in the heap was cancelled (Event.cancel).
+
+        When tombstones outnumber live events (past a fixed floor), the
+        heap is rebuilt without them: cancel-heavy workloads (deadman
+        timers, per-service bookkeeping) otherwise carry every tombstone
+        until its pop, inflating both memory and per-push compare cost.
+        Rebuilding preserves dispatch order exactly — event ordering is
+        a total order on ``(time, priority, seq)``.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN_TOMBSTONES
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            for event in self._heap:
+                if event.cancelled:
+                    event.owner = None
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or ``max_events``.
@@ -171,11 +203,15 @@ class Simulator:
         when active events earlier than ``until`` remain undispatched
         (a ``max_events`` or ``stop()`` exit): jumping over them would
         make the next ``run`` move the clock backwards.
+
+        A :meth:`stop` requested while no run is active (e.g. from a
+        monitor callback firing at a run boundary) is honored by the
+        *next* ``run``, which returns immediately without dispatching;
+        each ``run`` consumes at most one stop request on exit.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
-        self._stopped = False
         dispatched = 0
         try:
             while not self._stopped:
@@ -197,6 +233,7 @@ class Simulator:
             ):
                 self._now = until
         finally:
+            self._stopped = False
             self._running = False
 
     def stop(self) -> None:

@@ -30,7 +30,7 @@ class Event:
     :meth:`Simulator.call_after` rather than constructing them directly.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "owner", "_key")
 
     def __init__(
         self,
@@ -47,10 +47,23 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: The simulator whose heap currently holds this event (set on
+        #: push, cleared on pop) so :meth:`cancel` can report tombstones
+        #: for lazy heap compaction.  Cancelling a fired event is still
+        #: a plain flag write.
+        self.owner = None
+        # Heap comparisons dominate push/pop cost; the ordering fields
+        # are immutable after construction, so build the key once.
+        self._key = (self.time, self.priority, self.seq)
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -58,10 +71,10 @@ class Event:
         return not self.cancelled
 
     def sort_key(self) -> Tuple[float, int, int]:
-        return (self.time, self.priority, self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "active"

@@ -22,6 +22,7 @@ class Process:
         self.name = name
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._timers: List[Event] = []
+        self._compact_at = 256
 
     # ------------------------------------------------------------------
     # Timers
@@ -63,12 +64,25 @@ class Process:
         for event in self._timers:
             event.cancel()
         self._timers.clear()
+        self._compact_at = 256
 
     def _remember(self, event: Event) -> None:
         self._timers.append(event)
         # Opportunistically compact so long-lived processes don't leak.
-        if len(self._timers) > 256:
-            self._timers = [entry for entry in self._timers if entry.active]
+        # An event is worth keeping only while cancelling it could still
+        # matter: fired events (time in the past) are dead weight — a
+        # compaction that keeps them never shrinks the list and turns
+        # every rescan quadratic.  The threshold doubles with the live
+        # set so processes with many genuinely-pending timers pay an
+        # amortized O(1) per append.
+        if len(self._timers) > self._compact_at:
+            now = self.sim.now
+            self._timers = [
+                entry
+                for entry in self._timers
+                if not entry.cancelled and entry.time >= now
+            ]
+            self._compact_at = max(256, 2 * len(self._timers))
 
     # ------------------------------------------------------------------
     # Tracing

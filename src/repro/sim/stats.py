@@ -188,7 +188,12 @@ class Histogram:
         lo = int(math.floor(pos))
         hi = min(lo + 1, len(self._sorted) - 1)
         frac = pos - lo
-        return self._sorted[lo] * (1 - frac) + self._sorted[hi] * frac
+        lower = self._sorted[lo]
+        upper = self._sorted[hi]
+        # lower + delta*frac (not lower*(1-frac) + upper*frac): the
+        # two-product form can round below ``lower`` for subnormal
+        # samples, breaking min <= quantile <= max.
+        return lower + (upper - lower) * frac
 
     def mean(self) -> float:
         if not self._sorted:

@@ -1,0 +1,132 @@
+"""Tests for the bench harness and the batched-service differential."""
+
+import copy
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.bench.harness import (
+    BENCH_FORMAT,
+    PROTOCOL_COUNTERS,
+    BenchError,
+    diff_results,
+    load_result,
+    protocol_counters,
+    result_filename,
+    run_workload,
+    summary_lines,
+    write_result,
+)
+from repro.workloads.generator import ContinuousWorkload
+
+
+@pytest.fixture(scope="module")
+def kernel_result():
+    """One quick kernel run shared by the shape/gate tests below."""
+    return run_workload("kernel", seed=0, quick=True, with_memory=False)
+
+
+class TestRunWorkload:
+    def test_result_shape(self, kernel_result):
+        result = kernel_result
+        assert result["bench_format"] == BENCH_FORMAT
+        assert result["name"] == "kernel"
+        assert result["mode"] == "quick"
+        assert result["seed"] == 0
+        assert set(result["counters"]) == set(PROTOCOL_COUNTERS)
+        perf = result["perf"]
+        assert perf["events"] > 0
+        assert perf["events_per_sec"] > 0
+        assert perf["sim_seconds"] == pytest.approx(30.0)
+        assert perf["sim_per_wall"] > 0
+
+    def test_idle_kernel_serves_no_blocks(self, kernel_result):
+        # Zero viewers: the protocol counters must all stay at zero.
+        assert all(value == 0 for value in kernel_result["counters"].values())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(BenchError):
+            run_workload("nope")
+
+    def test_summary_lines_render(self, kernel_result):
+        lines = summary_lines(kernel_result)
+        assert lines and "kernel" in lines[0]
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, kernel_result, tmp_path):
+        path = write_result(kernel_result, str(tmp_path))
+        assert path.endswith(result_filename("kernel"))
+        assert load_result(path) == kernel_result
+
+    def test_wrong_format_rejected(self, kernel_result, tmp_path):
+        stale = copy.deepcopy(kernel_result)
+        stale["bench_format"] = BENCH_FORMAT + 1
+        stale["name"] = "kernel"
+        path = write_result(stale, str(tmp_path))
+        with pytest.raises(BenchError):
+            load_result(path)
+
+
+class TestBaselineGate:
+    def test_identical_results_pass(self, kernel_result):
+        assert diff_results(kernel_result, kernel_result) == []
+
+    def test_counter_drift_fails_exactly(self, kernel_result):
+        baseline = copy.deepcopy(kernel_result)
+        baseline["counters"]["cub.blocks_sent"] += 1
+        problems = diff_results(kernel_result, baseline)
+        assert any("cub.blocks_sent" in problem for problem in problems)
+
+    def test_perf_regression_beyond_tolerance_fails(self, kernel_result):
+        baseline = copy.deepcopy(kernel_result)
+        baseline["perf"]["events_per_sec"] = (
+            kernel_result["perf"]["events_per_sec"] * 2.0
+        )
+        problems = diff_results(kernel_result, baseline, perf_tolerance=0.10)
+        assert any("regressed" in problem for problem in problems)
+
+    def test_perf_check_disabled_by_zero_tolerance(self, kernel_result):
+        baseline = copy.deepcopy(kernel_result)
+        baseline["perf"]["events_per_sec"] = (
+            kernel_result["perf"]["events_per_sec"] * 2.0
+        )
+        assert diff_results(kernel_result, baseline, perf_tolerance=0.0) == []
+
+    def test_mismatched_mode_not_comparable(self, kernel_result):
+        baseline = copy.deepcopy(kernel_result)
+        baseline["mode"] = "full"
+        problems = diff_results(kernel_result, baseline)
+        assert problems
+        assert any("not comparable" in problem for problem in problems)
+
+
+def _loaded_run(batched):
+    """A small loaded system driven for 20 sim-seconds."""
+    system = TigerSystem(small_config(), seed=5, batched_service=batched)
+    system.add_standard_content(num_files=4, duration_s=60.0)
+    workload = ContinuousWorkload(system)
+    workload.add_streams(max(1, system.config.num_slots // 2))
+    system.run_for(20.0)
+    system.finalize_clients()
+    system.export_metrics()
+    return system
+
+
+class TestBatchedServiceDifferential:
+    """The batched per-slot-period service tick is an event-count
+    optimization only: every protocol counter must match the legacy
+    one-timer-per-viewer path exactly at the same config and seed."""
+
+    def test_counters_identical_to_legacy_path(self):
+        batched = _loaded_run(batched=True)
+        legacy = _loaded_run(batched=False)
+        batched_counters = protocol_counters(batched.registry)
+        legacy_counters = protocol_counters(legacy.registry)
+        assert batched_counters == legacy_counters
+        # The run actually exercised the service path.
+        assert batched_counters["cub.blocks_sent"] > 0
+        assert batched_counters["cub.viewer_states_forwarded"] > 0
+        # Batching exists to shrink the kernel event count, never to
+        # grow it.
+        assert batched.sim.events_dispatched <= legacy.sim.events_dispatched

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.faults.injectors import MessageFaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.message import KIND_DATA, Message
 from repro.net.nic import Nic
 from repro.net.node import NetworkNode
@@ -185,6 +187,128 @@ class TestPacedSend:
         network, a, b = net_pair
         with pytest.raises(ValueError):
             network.send_paced(Message("a", "b", "x", 10), -1.0)
+
+
+class _InjectorHost:
+    """Minimal system shim so a MessageFaultInjector can install on a
+    bare network (the real injector only touches .network and .rngs)."""
+
+    def __init__(self, network, rngs):
+        self.network = network
+        self.rngs = rngs
+
+
+def install_message_faults(network, rngs, plan):
+    injector = MessageFaultInjector(_InjectorHost(network, rngs), plan)
+    injector.install()
+    return injector
+
+
+class TestFifoUnderFaults:
+    def test_delayed_message_not_overtaken(self, sim, rngs):
+        """Regression: the per-flow FIFO floor used to be recorded from
+        the pre-perturbation arrival, so a fault-delayed message could
+        be overtaken by a later send on the same flow — impossible on
+        the TCP connections the paper's control plane runs over."""
+        network = make_net(sim, rngs)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        network.register(a, 100e6)
+        network.register(b, 100e6)
+        plan = FaultPlan().delay_messages(
+            0.05, start=0.0, duration=1.0, jitter=0.0, kind="data"
+        )
+        install_message_faults(network, rngs, plan)
+        network.send(Message("a", "b", "slow", 100, kind=KIND_DATA))
+        # A second message on the same flow, sent while the first is
+        # still fault-delayed in flight, and itself unperturbed.
+        sim.call_at(
+            0.005, lambda: network.send(Message("a", "b", "fast", 100))
+        )
+        sim.run()
+        payloads = [payload for payload, _ in b.received]
+        assert payloads == ["slow", "fast"]
+        slow_arrival = b.received[0][1]
+        fast_arrival = b.received[1][1]
+        assert slow_arrival >= 0.05
+        assert fast_arrival > slow_arrival
+
+    def test_deliberate_reorder_still_reorders(self, sim, rngs):
+        """A reorder fault's shifted arrival must not become the FIFO
+        floor: the floor would otherwise clamp the very overtake the
+        fault exists to create, and drag all later traffic with it."""
+        network = make_net(sim, rngs)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        network.register(a, 100e6)
+        network.register(b, 100e6)
+        plan = FaultPlan().reorder_messages(
+            1.0, shift=5.0, start=0.0, duration=1.0, kind="data"
+        )
+        install_message_faults(network, rngs, plan)
+        network.send(Message("a", "b", "pushed", 100, kind=KIND_DATA))
+        network.send(Message("a", "b", "later", 100))
+        sim.run()
+        payloads = [payload for payload, _ in b.received]
+        # The control message overtakes the deliberately shifted one.
+        assert payloads == ["later", "pushed"]
+        # And the flow floor tracks the in-order delivery, not the
+        # reordered outlier: a third send arrives after "pushed" only
+        # because of its own latency, not a clamp.
+        assert b.received[0][1] < b.received[1][1]
+
+
+class TestFabricAccountingIdentity:
+    def test_identity_under_duplicate_and_drop(self, sim, rngs):
+        """sent - dropped + duplicated == scheduled, exactly, even when
+        drop and duplicate faults hit the same traffic."""
+        network = make_net(sim, rngs)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        network.register(a, 100e6)
+        network.register(b, 100e6)
+        plan = (
+            FaultPlan()
+            .drop_messages(0.4, start=0.0, duration=60.0)
+            .duplicate_messages(0.4, start=0.0, duration=60.0)
+        )
+        install_message_faults(network, rngs, plan)
+        for index in range(200):
+            sim.call_at(
+                index * 0.01,
+                lambda index=index: network.send(
+                    Message("a", "b", index, 100)
+                ),
+            )
+        sim.run()
+        # Both fault kinds actually fired.
+        assert network.messages_dropped > 0
+        assert network.messages_duplicated > 0
+        assert network.messages_sent == 200
+        assert (
+            network.messages_sent
+            - network.messages_dropped
+            + network.messages_duplicated
+            == network.messages_scheduled
+        )
+        # The run drained: everything scheduled was delivered.
+        assert network.messages_delivered == network.messages_scheduled
+        assert network.messages_in_flight == 0
+        assert len(b.received) == network.messages_delivered
+
+    def test_identity_counts_source_failure_drops(self, sim, net_pair):
+        network, a, b = net_pair
+        a.fail()
+        network.send(Message("a", "b", "x", 10))
+        assert network.messages_sent == 1
+        assert network.messages_dropped == 1
+        assert network.messages_scheduled == 0
+        assert network.messages_in_flight == 0
+
+    def test_in_flight_tracks_undelivered(self, sim, net_pair):
+        network, a, b = net_pair
+        network.send(Message("a", "b", "x", 100))
+        assert network.messages_in_flight == 1
+        sim.run()
+        assert network.messages_in_flight == 0
+        assert network.messages_delivered == 1
 
 
 class TestTrafficAccounting:

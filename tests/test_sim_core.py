@@ -1,7 +1,9 @@
 """Tests for the discrete-event kernel."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+import repro.sim.core as sim_core
 from repro.sim.core import SimulationError, Simulator
 from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, Event
 
@@ -190,3 +192,110 @@ class TestRunControl:
         sim.call_after(1.0, lambda: None)
         sim.run()
         assert sim.now == pytest.approx(101.0)
+
+
+class TestPendingStop:
+    """A stop() requested while no run is active must stop the next run.
+
+    Regression: ``run()`` used to reset the stop flag on entry, silently
+    erasing any stop requested between runs (e.g. by a live-backend
+    shutdown handler firing while the driver was between drive calls).
+    """
+
+    def test_stop_between_runs_halts_next_run(self, sim):
+        fired = []
+        sim.call_after(1.0, fired.append, "a")
+        sim.stop()
+        sim.run()
+        assert fired == []
+        assert sim.now == 0.0
+        # The stop was consumed by the aborted run; the one after it
+        # proceeds normally.
+        sim.run()
+        assert fired == ["a"]
+
+    def test_pending_stop_does_not_advance_until(self, sim):
+        sim.stop()
+        sim.run(until=5.0)
+        assert sim.now == 0.0
+
+    def test_each_run_consumes_one_stop(self, sim):
+        sim.stop()
+        sim.stop()  # stop is a flag, not a queue: two requests, one abort
+        sim.run()
+        fired = []
+        sim.call_after(1.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+
+
+def _run_cancel_scenario(times, cancels, compact_floor):
+    """Drive one schedule/cancel scenario at a given compaction floor.
+
+    ``times`` schedules one recording event per entry (on a 0.1 s grid);
+    each ``(when, victim)`` in ``cancels`` schedules a canceller event
+    that cancels the victim-th recorded event mid-run — after it fired,
+    cancellation is a no-op, same as the real kernel's callers.
+    """
+    original = sim_core._COMPACT_MIN_TOMBSTONES
+    sim_core._COMPACT_MIN_TOMBSTONES = compact_floor
+    try:
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.call_at(tick / 10.0, fired.append, index)
+            for index, tick in enumerate(times)
+        ]
+        for tick, victim in cancels:
+            sim.call_at(tick / 10.0, events[victim % len(events)].cancel)
+        sim.run()
+        return fired, sim.events_dispatched, sim.now
+    finally:
+        sim_core._COMPACT_MIN_TOMBSTONES = original
+
+
+class TestHeapCompaction:
+    """Lazy tombstone compaction must be invisible to dispatch."""
+
+    def test_mass_cancellation_shrinks_heap(self, sim):
+        keepers = []
+        for index in range(10):
+            sim.call_after(float(index + 1), keepers.append, index)
+        victims = [
+            sim.call_after(1000.0 + index, lambda: None) for index in range(500)
+        ]
+        for event in victims:
+            event.cancel()
+        # Without compaction all 500 tombstones would sit in the heap
+        # until their pop time; with it, repeated rebuilds keep the heap
+        # near the live population.
+        assert len(sim._heap) < 150
+        sim.run()
+        assert keepers == list(range(10))
+        assert sim.events_dispatched == 10
+
+    def test_compaction_resets_tombstone_count(self, sim):
+        victims = [sim.call_after(1.0, lambda: None) for _ in range(200)]
+        for event in victims:
+            event.cancel()
+        assert sim._cancelled_in_heap < len(victims)
+        sim.run()
+        assert sim._cancelled_in_heap == 0
+        assert sim.events_dispatched == 0
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=120),
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 119)), max_size=80
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_compaction_preserves_dispatch_order(self, times, cancels):
+        """Property: an aggressively compacting kernel dispatches the
+        exact same sequence (order, count, final clock) as one that
+        never compacts, for any schedule/cancel interleaving."""
+        eager = _run_cancel_scenario(times, cancels, compact_floor=0)
+        reference = _run_cancel_scenario(
+            times, cancels, compact_floor=10**9
+        )
+        assert eager == reference

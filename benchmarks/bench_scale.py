@@ -3,9 +3,14 @@
 
 Runs 4 -> 64 cubs (4 -> 16 with ``--quick``) at ~50% load and writes
 ``BENCH_scale.json``, probing the paper's §3.3 claim that distributed
-schedule management keeps per-cub work constant as the system grows::
+schedule management keeps per-cub work constant as the system grows.
+Full mode adds the 256- and 1024-cub tiers, each measured as one
+monolithic single-heap system AND as four independent cub-group
+subsystems executed on ``--shards`` spawn workers — the events/sec
+ratio (``shard_speedup``) quantifies what partitioning the kernel
+buys::
 
-    python benchmarks/bench_scale.py --out-dir bench-out
+    python benchmarks/bench_scale.py --out-dir bench-out --shards 4
     python benchmarks/bench_scale.py --quick --baseline benchmarks/baselines
 
 See ``docs/BENCHMARKS.md`` for the JSON schema.
@@ -32,7 +37,16 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--baseline", metavar="DIR", default=None)
     parser.add_argument("--perf-tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="spawn workers for the partitioned 256/1024-cub tiers "
+        "(full mode only; 1 runs the groups serially in-process)",
+    )
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
     return run_bench(
         workloads=["scale"],
         out_dir=args.out_dir,
@@ -41,6 +55,7 @@ def main(argv=None) -> int:
         with_memory=False,
         baseline_dir=args.baseline,
         perf_tolerance=args.perf_tolerance,
+        shards=args.shards,
     )
 
 

@@ -33,13 +33,14 @@ import os
 import platform
 import tracemalloc
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.config import TigerConfig, paper_config, small_config
 from repro.core.tiger import TigerSystem
 from repro.obs.profiler import EventLoopProfiler
-from repro.obs.registry import snapshot_total
+from repro.obs.registry import merge_snapshots, snapshot_total
+from repro.sim.parallel import derive_seed, run_group_pool
 from repro.workloads.generator import ContinuousWorkload
 
 #: Schema version stamped into every BENCH_*.json.
@@ -63,6 +64,16 @@ DEFAULT_PERF_TOLERANCE = 0.10
 #: Cub counts exercised by the scale sweep.
 SCALE_CUBS_FULL = (4, 8, 16, 32, 64)
 SCALE_CUBS_QUICK = (4, 8, 16)
+
+#: Large-system tiers (full mode only): each is measured twice — one
+#: monolithic single-heap system, and the same cub count partitioned
+#: into :data:`SCALE_TIER_GROUPS` independent cub-group subsystems run
+#: via :func:`repro.sim.parallel.run_group_pool`.  The ratio of the two
+#: events/sec figures (``shard_speedup``) is the scaling headline.
+SCALE_TIERS = (256, 1024)
+SCALE_TIER_GROUPS = 4
+#: Sim-seconds per tier, sized so per-group work dwarfs pool overhead.
+SCALE_TIER_SIM_SECONDS = {256: 40.0, 1024: 15.0}
 
 
 @dataclass
@@ -140,18 +151,18 @@ def _timed_system_run(
 # ----------------------------------------------------------------------
 # Workload definitions
 # ----------------------------------------------------------------------
-def _kernel_build(seed: int, sim_seconds: float):
+def _kernel_build(seed: int, sim_seconds: float, shards: int = 1):
     def build() -> Tuple[TigerSystem, float]:
-        system = TigerSystem(paper_config(), seed=seed)
+        system = TigerSystem(paper_config(), seed=seed, shards=shards)
         system.add_standard_content(num_files=8, duration_s=240.0)
         return system, sim_seconds
 
     return build
 
 
-def _fig8_build(seed: int, sim_seconds: float):
+def _fig8_build(seed: int, sim_seconds: float, shards: int = 1):
     def build() -> Tuple[TigerSystem, float]:
-        system = TigerSystem(paper_config(), seed=seed)
+        system = TigerSystem(paper_config(), seed=seed, shards=shards)
         system.add_standard_content(num_files=8, duration_s=240.0)
         workload = ContinuousWorkload(system)
         workload.add_streams(system.config.num_slots)
@@ -160,25 +171,41 @@ def _fig8_build(seed: int, sim_seconds: float):
     return build
 
 
-def _run_kernel(seed: int, quick: bool, profiler=None) -> Tuple[RunOutcome, Dict]:
+def _run_kernel(
+    seed: int, quick: bool, profiler=None, shards: int = 1
+) -> Tuple[RunOutcome, Dict]:
     sim_seconds = 30.0 if quick else 120.0
-    outcome = _timed_system_run(_kernel_build(seed, sim_seconds), profiler)
-    params = {"config": "paper", "streams": 0, "sim_seconds": sim_seconds}
-    return outcome, params
-
-
-def _run_fig8(seed: int, quick: bool, profiler=None) -> Tuple[RunOutcome, Dict]:
-    sim_seconds = 10.0 if quick else 30.0
-    outcome = _timed_system_run(_fig8_build(seed, sim_seconds), profiler)
+    outcome = _timed_system_run(
+        _kernel_build(seed, sim_seconds, shards), profiler
+    )
     params = {
         "config": "paper",
-        "streams": paper_config().num_slots,
+        "streams": 0,
         "sim_seconds": sim_seconds,
+        "shards": shards,
     }
     return outcome, params
 
 
-def _run_chaos(seed: int, quick: bool, profiler=None) -> Tuple[RunOutcome, Dict]:
+def _run_fig8(
+    seed: int, quick: bool, profiler=None, shards: int = 1
+) -> Tuple[RunOutcome, Dict]:
+    sim_seconds = 10.0 if quick else 30.0
+    outcome = _timed_system_run(
+        _fig8_build(seed, sim_seconds, shards), profiler
+    )
+    params = {
+        "config": "paper",
+        "streams": paper_config().num_slots,
+        "sim_seconds": sim_seconds,
+        "shards": shards,
+    }
+    return outcome, params
+
+
+def _run_chaos(
+    seed: int, quick: bool, profiler=None, shards: int = 1
+) -> Tuple[RunOutcome, Dict]:
     # Imported lazily so a plain kernel bench never touches the faults
     # machinery.
     from repro.faults.harness import ChaosHarness, standard_chaos_plan
@@ -192,6 +219,7 @@ def _run_chaos(seed: int, quick: bool, profiler=None) -> Tuple[RunOutcome, Dict]
         load=0.5,
         duration=duration,
         profiler=profiler,
+        shards=shards,
     )
     started = perf_counter()
     harness.run()
@@ -208,6 +236,7 @@ def _run_chaos(seed: int, quick: bool, profiler=None) -> Tuple[RunOutcome, Dict]
         "load": 0.5,
         "plan": plan.name,
         "sim_seconds": duration,
+        "shards": shards,
     }
     return outcome, params
 
@@ -233,6 +262,144 @@ def _scale_build(num_cubs: int, seed: int, sim_seconds: float):
         return system, sim_seconds
 
     return build
+
+
+def _scale_group_run(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cub-group subsystem of a partitioned scale tier.
+
+    Top-level (picklable) so it can run in a ``spawn`` pool worker.  A
+    spawned child is a fresh interpreter, so the run is a pure function
+    of the spec — the per-group results merge deterministically no
+    matter which worker executed which group.  Returns the group's raw
+    event accounting plus a full registry snapshot; the parent merges
+    snapshots with :func:`repro.obs.registry.merge_snapshots`.
+
+    The drive is timed with :func:`time.process_time` (``cpu_s``): when
+    several workers share cores, a worker's wall clock counts time it
+    spent descheduled while its siblings ran, but its CPU clock counts
+    only its own dispatching — the per-group figure the decomposition
+    comparison needs.  Wall time is reported too (``wall_s``).
+    """
+    build = _scale_build(spec["num_cubs"], spec["seed"], spec["sim_seconds"])
+    system, sim_seconds = build()
+    wall_started = perf_counter()
+    cpu_started = process_time()
+    system.run_for(sim_seconds)
+    cpu = process_time() - cpu_started
+    wall = perf_counter() - wall_started
+    system.finalize_clients()
+    system.export_metrics()
+    return {
+        "group": spec["group"],
+        "events": system.sim.events_dispatched,
+        "cpu_s": cpu,
+        "wall_s": wall,
+        "sim_seconds": system.sim.now,
+        "streams": max(1, system.config.num_slots // 2),
+        "snapshot": system.registry.snapshot(),
+    }
+
+
+def _run_scale_tier(
+    tier_cubs: int, seed: int, shards: int
+) -> Dict[str, Any]:
+    """Measure one large-system tier: monolith vs partitioned groups.
+
+    The monolith is one single-heap :class:`TigerSystem` with
+    ``tier_cubs`` cubs — the "1 shard" end of the scaling claim.  The
+    partitioned side splits the same cub count into
+    :data:`SCALE_TIER_GROUPS` independent cub-group subsystems and runs
+    them through :func:`run_group_pool` on ``shards`` workers.
+
+    Both sides keep the harness convention that only the simulation
+    drive is timed, and both are measured by the same clock —
+    **per-process CPU time** of the drive, via the same
+    :func:`_scale_group_run` worker.  CPU time rather than wall time:
+    when pool workers share cores, a worker's wall clock charges it for
+    time spent descheduled while its siblings ran, which would make the
+    comparison depend on host core count rather than on the kernels
+    under test.
+
+    The partitioned ``perf`` is the sharded system's **aggregate**
+    throughput: total events over the *slowest group's* drive CPU time
+    (the critical path — the makespan when each shard has a core of its
+    own, which is the deployment the partitioning targets).  That is
+    the standard aggregate-capacity figure for a sharded system, and
+    ``shard_speedup`` is its ratio to the monolith's events/sec.  Two
+    companion fields keep single-host reality in view: ``cpu_total_s``
+    (the summed drive CPU across groups — the decomposition cost: at
+    1024 cubs it comes in *below* the monolith's because four small
+    event heaps beat one giant cache-hostile one, while at 256 cubs the
+    groups pay a premium in per-ring protocol overhead) and
+    ``pool_wall_s`` (the measured end-to-end pool time, which on a
+    single-core host shows the shards time-slicing rather than
+    overlapping).
+
+    Counters on both sides are exact-gated by ``diff_results``; the
+    partitioned counters are merged across groups with
+    ``merge_snapshots``, which must not double-count (each group is a
+    distinct registry).
+    """
+    sim_seconds = SCALE_TIER_SIM_SECONDS[tier_cubs]
+    group_cubs = tier_cubs // SCALE_TIER_GROUPS
+
+    mono_row = _scale_group_run(
+        {
+            "group": -1,
+            "num_cubs": tier_cubs,
+            "seed": seed,
+            "sim_seconds": sim_seconds,
+        }
+    )
+    monolith = RunOutcome(
+        events=mono_row["events"],
+        wall_s=mono_row["cpu_s"],
+        sim_seconds=sim_seconds,
+        counters={
+            name: int(snapshot_total(mono_row["snapshot"], name))
+            for name in PROTOCOL_COUNTERS
+        },
+    )
+
+    specs = [
+        {
+            "group": index,
+            "num_cubs": group_cubs,
+            "seed": derive_seed(seed, index),
+            "sim_seconds": sim_seconds,
+        }
+        for index in range(SCALE_TIER_GROUPS)
+    ]
+    results, pool_wall = run_group_pool(_scale_group_run, specs, shards)
+    merged = merge_snapshots([row["snapshot"] for row in results])
+    partitioned = RunOutcome(
+        events=sum(row["events"] for row in results),
+        wall_s=max(row["cpu_s"] for row in results),
+        sim_seconds=sim_seconds,
+        counters={
+            name: int(snapshot_total(merged, name))
+            for name in PROTOCOL_COUNTERS
+        },
+    )
+    mono_eps = monolith.events_per_sec
+    speedup = partitioned.events_per_sec / mono_eps if mono_eps > 0 else 0.0
+    return {
+        "cubs": tier_cubs,
+        "groups": SCALE_TIER_GROUPS,
+        "cubs_per_group": group_cubs,
+        "shards": shards,
+        "streams": sum(row["streams"] for row in results),
+        "monolith_perf": monolith.perf_dict(),
+        "monolith_counters": monolith.counters,
+        "perf": partitioned.perf_dict(),
+        "cpu_total_s": round(sum(row["cpu_s"] for row in results), 6),
+        "pool_wall_s": round(pool_wall, 6),
+        "counters": partitioned.counters,
+        "events_per_cub_sec": round(
+            partitioned.events / tier_cubs / sim_seconds, 1
+        ),
+        "shard_speedup": round(speedup, 2),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -263,13 +430,15 @@ def _base_result(name: str, mode: str, seed: int, params: Dict) -> Dict[str, Any
     }
 
 
-def _instrumented(run, seed: int, quick: bool) -> Tuple[List[Dict], Dict, Dict]:
+def _instrumented(
+    run, seed: int, quick: bool, shards: int = 1
+) -> Tuple[List[Dict], Dict, Dict]:
     """Second pass: profiler + tracemalloc.  Returns (handlers, memory,
     counters) — counters are cross-checked against the clean pass."""
     profiler = EventLoopProfiler()
     tracemalloc.start()
     try:
-        outcome, _ = run(seed, quick, profiler=profiler)
+        outcome, _ = run(seed, quick, profiler=profiler, shards=shards)
         current, peak = tracemalloc.get_traced_memory()
         stats = tracemalloc.take_snapshot().statistics("filename")
     finally:
@@ -288,6 +457,7 @@ def run_workload(
     seed: int = 0,
     quick: bool = False,
     with_memory: bool = True,
+    shards: int = 1,
 ) -> Dict[str, Any]:
     """Run one named workload and return its BENCH result dict.
 
@@ -296,18 +466,27 @@ def run_workload(
     :param quick: Reduced-scale variant (CI smoke).
     :param with_memory: Skip the instrumented pass when False (faster;
         ``handlers``/``memory`` are then empty).
+    :param shards: ``kernel``/``fig8``/``chaos`` run on an in-process
+        :class:`~repro.sim.shard.ShardedSimulator` with this many lanes
+        (1 = the classic single heap); for ``scale`` it is the spawn
+        worker count driving the partitioned tiers.  Protocol counters
+        are shard-invariant — the baseline gate holds for any value.
     """
+    if shards < 1:
+        raise BenchError(f"shards must be >= 1, got {shards}")
     if name == "scale":
-        return _run_scale_workload(seed=seed, quick=quick)
+        return _run_scale_workload(seed=seed, quick=quick, shards=shards)
     runner = _WORKLOAD_RUNNERS.get(name)
     if runner is None:
         raise BenchError(f"unknown workload {name!r} (have {WORKLOADS})")
-    clean, params = runner(seed, quick)
+    clean, params = runner(seed, quick, shards=shards)
     result = _base_result(name, "quick" if quick else "full", seed, params)
     result["perf"] = clean.perf_dict()
     result["counters"] = clean.counters
     if with_memory:
-        handlers, memory, counters = _instrumented(runner, seed, quick)
+        handlers, memory, counters = _instrumented(
+            runner, seed, quick, shards=shards
+        )
         if counters != clean.counters:
             raise BenchError(
                 f"workload {name!r} is nondeterministic: instrumented pass "
@@ -321,8 +500,16 @@ def run_workload(
     return result
 
 
-def _run_scale_workload(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
-    """Cub-count sweep; one clean timing pass per size."""
+def _run_scale_workload(
+    seed: int = 0, quick: bool = False, shards: int = 1
+) -> Dict[str, Any]:
+    """Cub-count sweep; one clean timing pass per size.
+
+    Full mode appends the :data:`SCALE_TIERS` rows (256 and 1024 cubs),
+    each carrying both a monolithic single-heap measurement and the
+    partitioned-groups measurement with its ``shard_speedup`` ratio;
+    quick mode (CI smoke) stops at the classic sweep.
+    """
     sizes = SCALE_CUBS_QUICK if quick else SCALE_CUBS_FULL
     sim_seconds = 10.0 if quick else 20.0
     sweep: List[Dict[str, Any]] = []
@@ -344,11 +531,19 @@ def _run_scale_workload(seed: int = 0, quick: bool = False) -> Dict[str, Any]:
                 "counters": outcome.counters,
             }
         )
+    if not quick:
+        for tier_cubs in SCALE_TIERS:
+            sweep.append(_run_scale_tier(tier_cubs, seed, shards))
     result = _base_result(
         "scale",
         "quick" if quick else "full",
         seed,
-        {"cubs": list(sizes), "load": 0.5, "sim_seconds": sim_seconds},
+        {
+            "cubs": list(sizes) + ([] if quick else list(SCALE_TIERS)),
+            "load": 0.5,
+            "sim_seconds": sim_seconds,
+            "shards": shards,
+        },
     )
     # Top-level perf mirrors the largest size so the baseline gate has a
     # single headline number to check.
@@ -456,6 +651,21 @@ def diff_results(
             label, cur_row.get("perf", {}), base_row.get("perf", {}),
             perf_tolerance,
         )
+        # Tier rows carry a second (monolithic single-heap) measurement;
+        # its counters are exact-gated too — the monolith and the
+        # partitioned groups must BOTH replay bit-identically.
+        if "monolith_counters" in base_row:
+            problems += _counter_drift(
+                f"{label} monolith",
+                cur_row.get("monolith_counters", {}),
+                base_row.get("monolith_counters", {}),
+            )
+            problems += _perf_regression(
+                f"{label} monolith",
+                cur_row.get("monolith_perf", {}),
+                base_row.get("monolith_perf", {}),
+                perf_tolerance,
+            )
     return problems
 
 
@@ -482,11 +692,19 @@ def summary_lines(result: Dict[str, Any]) -> List[str]:
             f"{row['wall_s'] * 1e3:9.2f} ms ({mean_us:6.1f} us/call)"
         )
     for row in result.get("sweep", []):
-        out.append(
-            f"         cubs={row['cubs']:<3d} streams={row['streams']:<4d} "
+        line = (
+            f"         cubs={row['cubs']:<4d} streams={row['streams']:<5d} "
             f"{row['perf']['events_per_sec']:>10.0f} ev/s  "
             f"{row['events_per_cub_sec']:>8.1f} ev/cub/sim-s"
         )
+        if "shard_speedup" in row:
+            line += (
+                f"  ({row['groups']}x{row['cubs_per_group']} groups on "
+                f"{row['shards']} worker(s): {row['shard_speedup']:.2f}x "
+                f"vs monolith "
+                f"{row['monolith_perf']['events_per_sec']:.0f} ev/s)"
+            )
+        out.append(line)
     return out
 
 
@@ -499,12 +717,14 @@ def run_bench(
     baseline_dir: Optional[str] = None,
     perf_tolerance: float = DEFAULT_PERF_TOLERANCE,
     echo: Callable[[str], None] = print,
+    shards: int = 1,
 ) -> int:
     """Run the bench matrix end to end; returns a process exit code.
 
     Writes one ``BENCH_<name>.json`` per workload into ``out_dir``; with
     ``baseline_dir``, diffs each result against the committed baseline
-    and returns 1 on any regression.
+    and returns 1 on any regression.  ``shards`` is forwarded to every
+    workload (see :func:`run_workload`).
     """
     names = list(workloads) if workloads else list(WORKLOADS)
     for name in names:
@@ -514,7 +734,8 @@ def run_bench(
     failures: List[str] = []
     for name in names:
         result = run_workload(
-            name, seed=seed, quick=quick, with_memory=with_memory
+            name, seed=seed, quick=quick, with_memory=with_memory,
+            shards=shards,
         )
         path = write_result(result, out_dir)
         for line in summary_lines(result):

@@ -89,7 +89,12 @@ def _export_metrics(path: str, system: TigerSystem) -> None:
 
 def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
     config = paper_config() if args.paper else small_config()
-    system = TigerSystem(config, seed=args.seed, tracer=tracer)
+    system = TigerSystem(
+        config,
+        seed=args.seed,
+        tracer=tracer,
+        shards=getattr(args, "shards", 1),
+    )
     system.add_standard_content(
         num_files=args.files, duration_s=args.file_seconds
     )
@@ -105,6 +110,9 @@ def _bad_victim(args, config) -> bool:
 
 
 def cmd_demo(args) -> int:
+    if args.shards < 1:
+        print("error: --shards must be >= 1")
+        return 2
     tracer = _make_tracer(args)
     system = _build_system(args, tracer=tracer)
     workload = ContinuousWorkload(system)
@@ -195,6 +203,9 @@ def cmd_chaos(args) -> int:
     if args.seconds <= 0:
         print("error: --seconds must be positive")
         return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1")
+        return 2
     if _bad_victim(args, config):
         return 2
     try:
@@ -219,6 +230,7 @@ def cmd_chaos(args) -> int:
         num_files=args.files,
         file_seconds=args.file_seconds,
         tracer=tracer,
+        shards=args.shards,
     )
     try:
         report = harness.run()
@@ -316,6 +328,9 @@ def cmd_bench(args) -> int:
     workloads = None
     if args.workloads:
         workloads = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    if args.shards < 1:
+        print("error: --shards must be >= 1")
+        return 2
     return run_bench(
         workloads=workloads,
         out_dir=args.out_dir,
@@ -324,6 +339,7 @@ def cmd_bench(args) -> int:
         with_memory=not args.no_memory,
         baseline_dir=args.baseline,
         perf_tolerance=args.perf_tolerance,
+        shards=args.shards,
     )
 
 
@@ -335,26 +351,53 @@ def cmd_report(args) -> int:
     )
 
 
+#: ``repro cluster`` exit codes (also in the subcommand's ``--help``):
+#: 0 = run completed and every acceptance check (including the
+#: ``--compare-sim`` tolerance bands) passed; 1 = run completed but a
+#: check or sim/live comparison failed; 2 = bad arguments (argparse or
+#: scenario validation); 3 = the driver itself died (boot failure,
+#: node crash take-down, replay error) — reported as one line on
+#: stderr, never a traceback.
+EXIT_CLUSTER_MISMATCH = 1
+EXIT_CLUSTER_USAGE = 2
+EXIT_CLUSTER_DRIVER_ERROR = 3
+
+
 def cmd_cluster(args) -> int:
     # Imported lazily: the live backend drags in asyncio/subprocess
     # machinery no simulated subcommand needs.
+    import sys
+
     from repro.live.cluster import ClusterScenario, run_cluster
 
-    scenario = ClusterScenario(
-        cubs=args.cubs,
-        duration=args.duration,
-        streams=args.streams,
-        seed=args.seed,
-        kill_cub=args.kill_cub,
-        kill_at=args.kill_at,
-        backup=not args.no_backup,
-        num_files=args.files,
-        file_duration_s=args.file_seconds,
-        deadman_timeout=args.deadman,
-    )
-    report = run_cluster(
-        scenario, compare_sim=args.compare_sim, echo=print
-    )
+    try:
+        scenario = ClusterScenario(
+            cubs=args.cubs,
+            duration=args.duration,
+            streams=args.streams,
+            seed=args.seed,
+            kill_cub=args.kill_cub,
+            kill_at=args.kill_at,
+            backup=not args.no_backup,
+            num_files=args.files,
+            file_duration_s=args.file_seconds,
+            deadman_timeout=args.deadman,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CLUSTER_USAGE
+    try:
+        report = run_cluster(
+            scenario, compare_sim=args.compare_sim, echo=print
+        )
+    except KeyboardInterrupt:
+        print("error: cluster run interrupted", file=sys.stderr)
+        return EXIT_CLUSTER_DRIVER_ERROR
+    except Exception as exc:  # noqa: BLE001 - CLI boundary: map to exit code
+        print(
+            f"error: cluster driver failed: {exc}", file=sys.stderr
+        )
+        return EXIT_CLUSTER_DRIVER_ERROR
     print()
     print(report.render())
     if args.metrics_out:
@@ -365,7 +408,7 @@ def cmd_cluster(args) -> int:
     if args.full_metrics:
         print()
         print(render_metrics_table(report.merged))
-    return 0 if report.passed else 1
+    return 0 if report.passed else EXIT_CLUSTER_MISMATCH
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -393,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
     observability(demo)
     demo.add_argument("--streams", type=int, default=12)
     demo.add_argument("--seconds", type=float, default=30.0)
+    demo.add_argument("--shards", type=int, default=1,
+                      help="run on a partitioned kernel with this many "
+                           "cub-group shard lanes (1 = single heap; "
+                           "results are bit-identical either way)")
     demo.set_defaults(func=cmd_demo)
 
     failover = subparsers.add_parser("failover", help="reconfiguration drill")
@@ -415,6 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seconds", type=float, default=120.0)
     chaos.add_argument("--drop-rate", type=float, default=0.01)
     chaos.add_argument("--victim", type=int, default=1)
+    chaos.add_argument("--shards", type=int, default=1,
+                       help="run on a partitioned kernel with this many "
+                            "cub-group shard lanes (1 = single heap; the "
+                            "replay fingerprint is identical either way)")
     chaos.set_defaults(func=cmd_chaos)
 
     trace = subparsers.add_parser(
@@ -462,6 +513,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative events/sec drop tolerated by the "
                             "baseline gate (<=0 disables the perf check; "
                             "counters always compare exactly)")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="kernel/fig8/chaos: shard lanes for the "
+                            "in-process partitioned kernel; scale: spawn "
+                            "workers for the partitioned tiers (counters "
+                            "are shard-invariant)")
     bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
@@ -472,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster = subparsers.add_parser(
         "cluster",
         help="run the protocol over real sockets: one process per node",
+        epilog=(
+            "exit codes: 0 = all checks passed; 1 = run completed but "
+            "an acceptance check or --compare-sim band failed; 2 = bad "
+            "arguments; 3 = the driver itself failed (no traceback)"
+        ),
     )
     cluster.add_argument("--cubs", type=int, default=4,
                          help="number of cub processes (minimum 3)")

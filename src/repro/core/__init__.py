@@ -22,6 +22,7 @@ from repro.core.viewerstate import (
     make_initial_state,
     mirror_states_for,
     new_instance_id,
+    reset_instance_ids,
 )
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "make_initial_state",
     "mirror_states_for",
     "new_instance_id",
+    "reset_instance_ids",
     "MetricsCollector",
     "SystemSample",
 ]

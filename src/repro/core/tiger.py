@@ -18,11 +18,13 @@ from repro.core.cub import Cub
 from repro.core.metrics import MetricsCollector
 from repro.core.schedule import GlobalSchedule
 from repro.core.slots import SlotClock
+from repro.core.viewerstate import reset_instance_ids
 from repro.net.message import reset_message_ids
 from repro.net.switch import SwitchedNetwork
 from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.shard import ShardedSimulator
 from repro.sim.trace import Tracer
 from repro.storage.blockindex import BlockIndex
 from repro.storage.catalog import Catalog, TigerFile
@@ -42,13 +44,29 @@ class TigerSystem:
         forward_copies: int = 2,
         registry: Optional[MetricsRegistry] = None,
         batched_service: bool = True,
+        shards: int = 1,
     ) -> None:
         self.config = config
-        self.sim = Simulator()
-        # Rewind the message-id sequence so a run is a pure function of
-        # (seed, config): back-to-back systems in one process allocate
-        # identical ids instead of continuing a process-global counter.
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        if shards == 1:
+            self.sim = Simulator()
+        else:
+            # Partitioned kernel: contiguous cub groups per lane, with
+            # the fabric's base propagation latency as the conservative
+            # lookahead bound (the minimum cross-shard link latency).
+            # Protocol counters are bit-identical to the single heap for
+            # any shard count — see repro/sim/shard.py.
+            self.sim = ShardedSimulator(
+                shards, lookahead=config.net_base_latency
+            )
+        # Rewind the message-id and play-instance-id sequences so a run
+        # is a pure function of (seed, config): back-to-back systems in
+        # one process allocate identical ids instead of continuing a
+        # process-global counter.
         reset_message_ids()
+        reset_instance_ids()
         self.rngs = RngRegistry(seed)
         self.tracer = tracer if tracer is not None else Tracer()
         #: The system-wide metrics sink; every cub and controller
@@ -99,6 +117,12 @@ class TigerSystem:
                 batched_service=batched_service,
             )
             self.network.register(cub, config.cub_nic_bps)
+            if shards > 1:
+                # Contiguous groups keep the mirror ring's viewer-state
+                # forwarding (cub i -> i-1) on-shard except at the group
+                # boundary, which is exactly the thin slice the boundary
+                # channels are meant to carry.
+                self.sim.pin(cub.address, cub_id * shards // config.num_cubs)
             self.cubs.append(cub)
 
         self.controller = Controller(
@@ -291,6 +315,28 @@ class TigerSystem:
               help="Events dispatched by the simulation kernel",
               unit="events").set(self.sim.events_dispatched)
         gauge("sim.now", help="Simulated clock at export", unit="s").set(now)
+        shard_stats = getattr(self.sim, "shard_stats", None)
+        if shard_stats is not None:
+            stats = shard_stats()
+            gauge("sim.shards", help="Shard lanes in the partitioned kernel",
+                  unit="shards").set(stats["shards"])
+            gauge("sim.shard_windows",
+                  help="Conservative lookahead windows completed",
+                  unit="windows").set(stats["windows"])
+            gauge("sim.cross_shard_messages",
+                  help="Events carried across shard boundaries",
+                  unit="events").set(stats["cross_shard_messages"])
+            gauge("sim.null_messages",
+                  help="Clock-only boundary-channel advancements",
+                  unit="messages").set(stats["null_messages"])
+            gauge("sim.lookahead_violations",
+                  help="Cross-shard sends undercutting the lookahead bound "
+                       "(must stay zero for a PDES-safe partitioning)",
+                  unit="events").set(stats["lookahead_violations"])
+            for lane_index, lane_events in enumerate(stats["lane_events"]):
+                gauge("sim.lane_events",
+                      help="Events dispatched on one shard lane",
+                      unit="events", lane=lane_index).set(lane_events)
         for cub in self.cubs:
             gauge("cub.cpu_utilization",
                   help="Modelled CPU utilization since last reset",

@@ -37,6 +37,22 @@ def new_instance_id() -> int:
     return next(_instance_ids)
 
 
+def reset_instance_ids() -> None:
+    """Restart the play-instance id sequence from 1.
+
+    Instance ids only need to be unique *within* one
+    :class:`~repro.core.tiger.TigerSystem`, but the allocator is
+    process-global, so each system built in a long-lived process used
+    to start wherever the previous one left off.  The system
+    constructor calls this so every run is a pure function of
+    (config, seed) — a system built fifth in a bench sweep carries the
+    same ids as the same system built alone, and an in-process run
+    matches a fresh ``spawn`` worker's bit for bit.
+    """
+    global _instance_ids
+    _instance_ids = itertools.count(1)
+
+
 @dataclass(frozen=True, slots=True)
 class ViewerState:
     """One schedule entry, targeted at a specific disk visit."""

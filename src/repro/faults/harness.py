@@ -84,11 +84,13 @@ class ChaosHarness:
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
         profiler: Optional[object] = None,
+        shards: int = 1,
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
         if duration <= 0:
             raise ValueError("duration must be positive")
+        self.shards = shards
         self.config = config
         self.plan = plan
         self.seed = seed
@@ -113,6 +115,7 @@ class ChaosHarness:
             seed=self.seed,
             tracer=self.tracer,
             registry=self.registry,
+            shards=self.shards,
         )
         self.system = system
         self.registry = system.registry

@@ -392,9 +392,10 @@ class ClusterReport:
             lines.append("simulator comparison (|sim - live| <= tolerance):")
             for name, sim_v, live_v, tol, ok in self.comparison:
                 mark = "ok " if ok else "FAIL"
+                drift = relative_drift(sim_v, live_v)
                 lines.append(
                     f"  {mark} {name:<34} sim={sim_v:>9g} "
-                    f"live={live_v:>9g} tol={tol:g}"
+                    f"live={live_v:>9g} tol={tol:g} drift={drift:.0%}"
                 )
         lines.append("")
         lines.append("checks:")
@@ -699,10 +700,30 @@ COMPARE_COUNTERS: List[Tuple[str, float, float]] = [
 ]
 
 
+def relative_drift(sim_total: float, live_total: float) -> float:
+    """``|sim - live|`` as a fraction of the larger side, zero-safe.
+
+    A freshly booted scenario legitimately leaves some baseline
+    counters at zero (no kill → no mirror pieces, no stops → no
+    deschedules).  Two zeros are perfect agreement (drift ``0.0``);
+    one zero against a nonzero value is total disagreement (drift
+    ``1.0``) — never a :class:`ZeroDivisionError`.
+    """
+    reference = max(abs(sim_total), abs(live_total))
+    if reference == 0:
+        return 0.0
+    return abs(sim_total - live_total) / reference
+
+
 def compare_counters(
     sim_snapshot: Dict[str, Any], live_snapshot: Dict[str, Any]
 ) -> List[Tuple[str, float, float, float, bool]]:
     """Diff protocol counters between backends.
+
+    Pass/fail is decided on the *absolute* band ``max(floor, rel x
+    max(sim, live))`` — never a ratio — so a zero-valued baseline
+    counter can't divide anything; :func:`relative_drift` supplies the
+    display percentage with the same zero-safety.
 
     :returns: ``(name, sim_total, live_total, tolerance, ok)`` rows,
         one per entry of :data:`COMPARE_COUNTERS`.

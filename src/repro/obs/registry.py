@@ -362,9 +362,20 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     Series with identical ``(family, labels)`` merge by kind: counters
     and histograms **sum** (a later snapshot of the same node simply
     supersedes within its own dump — callers pass one snapshot per
-    node), gauges keep the **last** value seen.  In practice live label
-    sets carry the node identity (``cub=...``, ``node=...``), so
-    cross-node collisions only happen for deliberately global series.
+    node), gauges keep the **last** value seen.  Histogram sums combine
+    the summary dicts: ``count`` adds, ``mean`` is count-weighted,
+    ``max`` takes the max, and the ``p50``/``p95`` quantiles are
+    count-weighted averages — an approximation (exact quantile merge
+    would need the raw samples), adequate for the cross-node roll-up
+    views these merges feed.  In practice live label sets carry the
+    node identity (``cub=...``, ``node=...``), so cross-node collisions
+    only happen for deliberately global series.
+
+    Two registries that both collapsed into their cardinality-overflow
+    series merge without double counting: the overflow rows share the
+    reserved label set, so they combine by the family's kind exactly
+    once, and the merged family keeps the overflow row **last** — the
+    same placement :meth:`MetricsRegistry.snapshot` guarantees.
 
     :param snapshots: One snapshot dict per node, in merge order.
     :returns: A combined snapshot in the same format.
@@ -396,11 +407,49 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                     value, (int, float)
                 ) and isinstance(existing["value"], (int, float)):
                     existing["value"] += value
+                elif target["kind"] == KIND_HISTOGRAM and isinstance(
+                    value, dict
+                ) and isinstance(existing["value"], dict):
+                    existing["value"] = _merge_histogram_values(
+                        existing["value"], value
+                    )
                 else:
                     existing["value"] = value
+    overflow_key = ((OVERFLOW_LABEL, "true"),)
     for family in merged.values():
+        overflow_entry = family["_index"].get(overflow_key)
         del family["_index"]
+        if overflow_entry is not None:
+            # Restore the snapshot() contract: the overflow series sits
+            # last no matter where later snapshots' rows interleaved it.
+            family["series"].remove(overflow_entry)
+            family["series"].append(overflow_entry)
     return merged
+
+
+def _merge_histogram_values(
+    left: Dict[str, Any], right: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Combine two histogram summary dicts (see :func:`merge_snapshots`)."""
+    left_count = left.get("count", 0) or 0
+    right_count = right.get("count", 0) or 0
+    total = left_count + right_count
+    if total <= 0:
+        return dict(right)
+
+    def weighted(key: str) -> float:
+        return (
+            (left.get(key, 0.0) or 0.0) * left_count
+            + (right.get(key, 0.0) or 0.0) * right_count
+        ) / total
+
+    return {
+        "count": total,
+        "mean": weighted("mean"),
+        "p50": weighted("p50"),
+        "p95": weighted("p95"),
+        "max": max(left.get("max", 0.0) or 0.0, right.get("max", 0.0) or 0.0),
+    }
 
 
 def snapshot_total(

@@ -130,3 +130,38 @@ class TestBatchedServiceDifferential:
         # Batching exists to shrink the kernel event count, never to
         # grow it.
         assert batched.sim.events_dispatched <= legacy.sim.events_dispatched
+
+
+class TestSweepPointIndependence:
+    """Regression (sweep seeding): each sweep point must be a pure
+    function of (cubs, seed) — independent of whatever ran earlier in
+    the process.  TigerSystem rewinds the process-global message-id and
+    play-instance-id sequences at construction, so a point measured
+    alone matches the same point inside a full sweep, bit for bit."""
+
+    def test_single_point_matches_point_inside_sweep(self):
+        from repro.bench.harness import (
+            _scale_build,
+            _timed_system_run,
+        )
+
+        # The same point measured standalone...
+        alone = _timed_system_run(_scale_build(8, 0, 10.0), profiler=None)
+        # ...and inside the full quick sweep (after the cubs=4 point has
+        # polluted any process-global state it was going to).
+        sweep = run_workload("scale", seed=0, quick=True, with_memory=False)
+        row = next(r for r in sweep["sweep"] if r["cubs"] == 8)
+        assert row["counters"] == alone.counters
+        assert row["perf"]["events"] == alone.events
+        assert row["perf"]["sim_seconds"] == pytest.approx(
+            alone.sim_seconds
+        )
+
+    def test_instance_ids_rewind_per_system(self):
+        from repro.core.viewerstate import new_instance_id
+
+        TigerSystem(small_config(), seed=0)
+        first = new_instance_id()
+        TigerSystem(small_config(), seed=0)
+        second = new_instance_id()
+        assert first == second == 1

@@ -13,8 +13,10 @@ from repro.config import small_config
 from repro.faults.live import LiveFaultError, LiveFaultInjector, kill_cub_plan
 from repro.faults.plan import FaultPlan
 from repro.live.cluster import (
+    ClusterReport,
     ClusterScenario,
     compare_counters,
+    relative_drift,
     run_cluster,
     run_scenario_in_sim,
 )
@@ -165,6 +167,72 @@ def test_compare_counters_flags_only_out_of_band_values():
     rows = compare_counters(snapshot, drifted)
     by_name = {row[0]: row for row in rows}
     assert not by_name["cub.blocks_sent"][4]
+
+
+def test_relative_drift_is_zero_safe():
+    assert relative_drift(0.0, 0.0) == 0.0
+    assert relative_drift(0.0, 7.0) == 1.0
+    assert relative_drift(7.0, 0.0) == 1.0
+    assert relative_drift(100.0, 80.0) == pytest.approx(0.2)
+
+
+def test_compare_counters_tolerates_zero_valued_baselines():
+    """Regression: a no-kill scenario leaves mirror/deschedule counters
+    at zero on the sim side — comparing (and rendering) those rows must
+    not divide by zero, and zeros within the absolute floor pass."""
+    live = {
+        "cub.mirror_pieces_sent": _family("counter", ({}, 10)),
+    }
+    rows = compare_counters({}, live)  # every sim baseline is zero
+    by_name = {row[0]: row for row in rows}
+    # 10 live pieces against a zero baseline sit inside the floor of 40.
+    assert by_name["cub.mirror_pieces_sent"][4]
+    # Counters zero on both sides agree exactly.
+    assert by_name["cub.blocks_sent"][1] == 0.0
+    assert by_name["cub.blocks_sent"][4]
+
+
+def test_report_render_shows_zero_safe_drift():
+    scenario = ClusterScenario(cubs=4, streams=3, duration=12.0)
+    report = ClusterReport(
+        scenario=scenario,
+        merged={},
+        node_metrics={},
+        byes={},
+        unexpected_exits=[],
+        wire_errors=[],
+        kills=[],
+        wall_seconds=1.0,
+        workdir="/tmp/nowhere",
+        comparison=[
+            ("cub.blocks_sent", 0.0, 0.0, 30.0, True),
+            ("cub.mirror_pieces_sent", 0.0, 10.0, 40.0, True),
+        ],
+        compared=True,
+    )
+    text = report.render()
+    assert "drift=0%" in text
+    assert "drift=100%" in text
+
+
+def test_cluster_cli_exit_codes_without_tracebacks(monkeypatch, capsys):
+    """Documented exit codes: 2 for a rejected scenario, 3 when the
+    driver dies — one stderr line each, never a traceback."""
+    from repro.cli import main
+
+    code = main(["cluster", "--cubs", "2"])
+    assert code == 2
+    assert "at least 3 cubs" in capsys.readouterr().err
+
+    import repro.live.cluster as cluster_mod
+
+    def boom(*_args, **_kwargs):
+        raise RuntimeError("node cub:1 refused to boot")
+
+    monkeypatch.setattr(cluster_mod, "run_cluster", boom)
+    code = main(["cluster", "--cubs", "3", "--duration", "8"])
+    assert code == 3
+    assert "cluster driver failed" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

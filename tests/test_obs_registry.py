@@ -163,3 +163,83 @@ class TestSystemWiring:
             "cub.cpu_utilization",
         ):
             assert name in registry.names()
+
+
+class TestMergeSnapshots:
+    """Cross-registry merging (live cluster, partitioned bench tiers)."""
+
+    def test_counters_sum_and_gauges_last_win(self):
+        from repro.obs.registry import merge_snapshots
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x.sent", cub=0).increment(3)
+        b.counter("x.sent", cub=0).increment(4)
+        a.gauge("x.level").set(1.0)
+        b.gauge("x.level").set(9.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["x.sent"]["series"][0]["value"] == 7
+        assert merged["x.level"]["series"][0]["value"] == 9.0
+
+    def test_two_overflowed_registries_merge_without_double_count(self):
+        """Regression: both nodes collapsed into their overflow series.
+
+        The overflow rows share the reserved label set, so they must
+        combine exactly once — the merged total equals the sum of every
+        increment on either node, nothing dropped, nothing doubled.
+        """
+        from repro.obs.registry import merge_snapshots
+
+        a = MetricsRegistry(max_series_per_family=2)
+        b = MetricsRegistry(max_series_per_family=2)
+        for i in range(5):
+            a.counter("x.sent", cub=i).increment()        # 3 overflowed
+            b.counter("x.sent", cub=i + 100).increment()  # 3 overflowed
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        series = merged["x.sent"]["series"]
+        overflow_rows = [
+            row for row in series if row["labels"] == {"overflow": "true"}
+        ]
+        assert len(overflow_rows) == 1
+        assert overflow_rows[0]["value"] == 6
+        assert sum(row["value"] for row in series) == 10
+
+    def test_merged_overflow_row_stays_last(self):
+        """Regression: a second snapshot's plain rows used to append
+        after the first snapshot's overflow row, breaking the
+        overflow-last contract :meth:`MetricsRegistry.snapshot` gives
+        every downstream consumer."""
+        from repro.obs.registry import merge_snapshots
+
+        a = MetricsRegistry(max_series_per_family=2)
+        for i in range(4):
+            a.counter("x.sent", cub=i).increment()
+        b = MetricsRegistry(max_series_per_family=8)
+        a_keys = {0, 1}
+        for i in range(4, 8):
+            b.counter("x.sent", cub=i).increment()
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        series = merged["x.sent"]["series"]
+        assert series[-1]["labels"] == {"overflow": "true"}
+        assert all(
+            row["labels"] != {"overflow": "true"} for row in series[:-1]
+        )
+        assert {row["labels"].get("cub") for row in series[:-1]} >= {
+            str(i) for i in a_keys
+        }
+
+    def test_histograms_sum_per_contract(self):
+        """Regression: histogram series were last-wins despite the
+        documented merge semantics; counts must add and the summary
+        stats must reflect both sides."""
+        from repro.obs.registry import merge_snapshots
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            a.histogram("x.latency").observe(value)
+        for value in (10.0, 20.0):
+            b.histogram("x.latency").observe(value)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        value = merged["x.latency"]["series"][0]["value"]
+        assert value["count"] == 5
+        assert value["mean"] == pytest.approx((1 + 2 + 3 + 10 + 20) / 5)
+        assert value["max"] == 20.0

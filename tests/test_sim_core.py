@@ -299,3 +299,63 @@ class TestHeapCompaction:
             times, cancels, compact_floor=10**9
         )
         assert eager == reference
+
+
+class TestBudgetVsTombstones:
+    """Audit pin-downs: the ``run(until, max_events)`` budget counts
+    dispatched events only.  ``run`` peeks past tombstones before every
+    step, so a cancelled event can never consume budget or clock — these
+    tests freeze that property against future kernel refactors (the
+    TombstoneHeap extraction relies on it)."""
+
+    def test_cancelled_events_do_not_consume_max_events(self, sim):
+        fired = []
+        victims = [sim.call_after(float(i + 1), lambda: None) for i in range(50)]
+        for event in victims:
+            event.cancel()
+        # Live events scheduled after the 50 tombstones in time order.
+        for tag in range(3):
+            sim.call_after(100.0 + tag, fired.append, tag)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+        assert sim.events_dispatched == 3
+
+    def test_budget_exhaustion_clock_ignores_earlier_tombstones(self, sim):
+        fired = []
+        sim.call_after(1.0, fired.append, "a")
+        victim = sim.call_after(2.0, lambda: None)
+        victim.cancel()
+        sim.call_after(3.0, fired.append, "b")
+        sim.call_after(4.0, fired.append, "c")
+        sim.run(until=10.0, max_events=2)
+        # Both live events fit the budget; the tombstone at t=2 neither
+        # burned budget nor stalled the clock at its own time, and the
+        # budget-exhaustion exit leaves the clock at the last dispatch.
+        assert fired == ["a", "b"]
+        assert sim.now == pytest.approx(3.0)
+        sim.run(until=10.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == pytest.approx(10.0)
+
+    def test_compaction_mid_run_keeps_monotonic_exit_clock(self):
+        """A compaction triggered between dispatches must not perturb
+        where the clock lands when ``until`` passes with the remaining
+        heap all tombstones."""
+        original = sim_core._COMPACT_MIN_TOMBSTONES
+        sim_core._COMPACT_MIN_TOMBSTONES = 4
+        try:
+            sim = Simulator()
+            victims = [
+                sim.call_after(50.0 + i, lambda: None) for i in range(40)
+            ]
+            sim.call_after(1.0, lambda: [e.cancel() for e in victims])
+            sim.run(until=20.0)
+            # Everything left in the heap was cancelled; the clock must
+            # advance to the horizon, not to any tombstone's time.
+            assert sim.now == pytest.approx(20.0)
+            assert sim.events_dispatched == 1
+            sim.run(until=60.0)
+            assert sim.now == pytest.approx(60.0)
+            assert sim.events_dispatched == 1
+        finally:
+            sim_core._COMPACT_MIN_TOMBSTONES = original

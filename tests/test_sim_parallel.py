@@ -1,0 +1,112 @@
+"""Multiprocessing layer: seed derivation, group pool, null-message ring.
+
+The ring tests spawn real OS processes connected by pipes, so they run
+a touch slower than the in-process shard tests — parameters are kept
+small (3 shards, 1 virtual second) to keep the suite quick.
+"""
+
+import pytest
+
+from repro.sim.parallel import (
+    derive_seed,
+    run_group_pool,
+    run_null_message_ring,
+)
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(0, 0) == derive_seed(0, 0)
+        assert derive_seed(42, 3) == derive_seed(42, 3)
+
+    def test_separated_across_indices_and_seeds(self):
+        seeds = {derive_seed(seed, index)
+                 for seed in range(4) for index in range(8)}
+        assert len(seeds) == 32  # no collisions in a small grid
+
+    def test_fits_in_63_bits(self):
+        for index in range(16):
+            value = derive_seed(123, index)
+            assert 0 <= value < 2**63
+
+
+# ----------------------------------------------------------------------
+# Group pool
+# ----------------------------------------------------------------------
+def _square(spec):
+    return spec * spec
+
+
+class TestRunGroupPool:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            run_group_pool(_square, [1, 2], 0)
+
+    def test_serial_path_preserves_order(self):
+        results, wall = run_group_pool(_square, [3, 1, 2], 1)
+        assert results == [9, 1, 4]
+        assert wall >= 0.0
+
+    def test_single_spec_stays_in_process(self):
+        # len(specs) <= 1 short-circuits to serial even with shards > 1,
+        # so a lambda (unpicklable) is fine here.
+        results, _ = run_group_pool(lambda spec: spec + 1, [41], 4)
+        assert results == [42]
+
+    def test_spawn_pool_matches_serial(self):
+        serial, _ = run_group_pool(_square, [5, 6, 7, 8], 1)
+        pooled, _ = run_group_pool(_square, [5, 6, 7, 8], 2)
+        assert pooled == serial
+
+
+# ----------------------------------------------------------------------
+# Null-message ring
+# ----------------------------------------------------------------------
+def _sim_visible(stats):
+    """The deterministic projection of a worker's stats (the docstring
+    contract: everything except transport-level ``nulls_sent``)."""
+    return {
+        key: value
+        for key, value in stats.items()
+        if key != "nulls_sent"
+    }
+
+
+class TestNullMessageRing:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2 shards"):
+            run_null_message_ring(num_shards=1)
+        with pytest.raises(ValueError, match="must be positive"):
+            run_null_message_ring(num_shards=2, lookahead=0.0)
+
+    def test_token_circulates_and_horizon_is_reached(self):
+        stats = run_null_message_ring(
+            num_shards=3, lookahead=0.05, until=1.0, tick=0.05,
+            token_hops=6,
+        )
+        assert [row["index"] for row in stats] == [0, 1, 2]
+        # Token injected with 6 remaining hops: 7 dispatches in all,
+        # and every forward crossed a process boundary.
+        assert sum(row["tokens"] for row in stats) == 7
+        assert sum(row["events_sent"] for row in stats) == 6
+        assert sum(row["received"] for row in stats) == 6
+        # Blocked waits promise progress: somebody sent null messages.
+        assert sum(row["nulls_sent"] for row in stats) > 0
+        # Every shard drained its tick train to the horizon.
+        for row in stats:
+            assert row["final_now"] == pytest.approx(1.0)
+            assert row["events"] >= int(1.0 / 0.05)
+
+    def test_simulation_visible_fields_are_deterministic(self):
+        kwargs = dict(
+            num_shards=3, lookahead=0.05, until=1.0, tick=0.05,
+            token_hops=6,
+        )
+        first = run_null_message_ring(**kwargs)
+        second = run_null_message_ring(**kwargs)
+        assert [_sim_visible(row) for row in first] == [
+            _sim_visible(row) for row in second
+        ]

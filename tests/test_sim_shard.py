@@ -1,0 +1,311 @@
+"""Tests for the partitioned (sharded) discrete-event kernel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import Runtime, TimerHandle
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW
+from repro.sim.shard import ShardedSimulator
+
+
+@pytest.fixture
+def ssim():
+    return ShardedSimulator(shards=4, lookahead=0.0005)
+
+
+class TestConstruction:
+    def test_satisfies_runtime_contract(self, ssim):
+        assert isinstance(ssim, Runtime)
+        handle = ssim.call_after(1.0, lambda: None)
+        assert isinstance(handle, TimerHandle)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedSimulator(shards=0, lookahead=0.001)
+
+    def test_rejects_nonpositive_lookahead(self):
+        with pytest.raises(ValueError):
+            ShardedSimulator(shards=2, lookahead=0.0)
+
+    def test_pin_out_of_range(self, ssim):
+        with pytest.raises(ValueError):
+            ssim.pin("cub:0", 4)
+
+    def test_unpinned_address_falls_to_lane_zero(self, ssim):
+        assert ssim.lane_of("anything") == 0
+
+
+class TestSingleHeapParity:
+    """The sharded kernel must mirror Simulator.run semantics exactly."""
+
+    def test_dispatch_order(self, ssim):
+        fired = []
+        ssim.call_after(2.0, fired.append, "late")
+        ssim.call_after(1.0, fired.append, "early")
+        ssim.run()
+        assert fired == ["early", "late"]
+        assert ssim.now == pytest.approx(2.0)
+
+    def test_priority_breaks_ties(self, ssim):
+        fired = []
+        ssim.call_at(1.0, fired.append, "normal")
+        ssim.call_at(1.0, fired.append, "low", priority=PRIORITY_LOW)
+        ssim.call_at(1.0, fired.append, "high", priority=PRIORITY_HIGH)
+        ssim.run()
+        assert fired == ["high", "normal", "low"]
+
+    def test_scheduling_in_past_raises(self, ssim):
+        ssim.call_after(1.0, lambda: None)
+        ssim.run()
+        with pytest.raises(SimulationError):
+            ssim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self, ssim):
+        with pytest.raises(SimulationError):
+            ssim.call_after(-0.1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, ssim):
+        fired = []
+        event = ssim.call_after(1.0, fired.append, "x")
+        event.cancel()
+        ssim.run()
+        assert fired == []
+
+    def test_run_until_advances_clock(self, ssim):
+        ssim.run(until=7.0)
+        assert ssim.now == pytest.approx(7.0)
+
+    def test_until_with_max_events_keeps_clock_monotonic(self, ssim):
+        fired = []
+        for tag in range(5):
+            ssim.call_after(float(tag + 1), fired.append, tag)
+        ssim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert ssim.now == pytest.approx(2.0)
+        ssim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert ssim.now == pytest.approx(10.0)
+
+    def test_stop_aborts_run(self, ssim):
+        fired = []
+        ssim.call_after(1.0, fired.append, "a")
+        ssim.call_after(2.0, ssim.stop)
+        ssim.call_after(3.0, fired.append, "b")
+        ssim.run()
+        assert fired == ["a"]
+
+    def test_pending_stop_consumed_by_next_run(self, ssim):
+        fired = []
+        ssim.call_after(1.0, fired.append, "a")
+        ssim.stop()
+        ssim.run()
+        assert fired == []
+        ssim.run()
+        assert fired == ["a"]
+
+    def test_run_is_not_reentrant(self, ssim):
+        ssim.call_after(1.0, ssim.run)
+        with pytest.raises(SimulationError):
+            ssim.run()
+
+    def test_step_and_peek(self, ssim):
+        assert ssim.step() is False
+        assert ssim.peek_time() is None
+        ssim.call_after(1.5, lambda: None)
+        assert ssim.peek_time() == pytest.approx(1.5)
+        assert ssim.step() is True
+        assert ssim.events_dispatched == 1
+
+
+class TestLanePlacement:
+    def test_call_at_node_routes_to_pinned_lane(self, ssim):
+        ssim.pin("cub:3", 3)
+        ssim.call_at_node("cub:3", 1.0, lambda: None)
+        assert len(ssim.lanes[3].heap) == 1
+        assert len(ssim.lanes[0].heap) == 0
+
+    def test_dispatch_affinity_inherited(self, ssim):
+        """Timers scheduled inside a callback stay on that lane."""
+        ssim.pin("cub:2", 2)
+
+        def chained():
+            ssim.call_after(1.0, lambda: None)
+
+        ssim.call_at_node("cub:2", 1.0, chained)
+        ssim.run(max_events=1)
+        assert len(ssim.lanes[2].heap) == 1
+
+    def test_lane_event_accounting(self, ssim):
+        ssim.pin("cub:1", 1)
+        ssim.call_at_node("cub:1", 1.0, lambda: None)
+        ssim.call_at(1.0, lambda: None)  # lane 0
+        ssim.run()
+        assert ssim.lanes[0].events_dispatched == 1
+        assert ssim.lanes[1].events_dispatched == 1
+        assert ssim.events_dispatched == 2
+
+
+class TestBoundaryChannels:
+    def test_cross_shard_send_counted_and_delivered(self, ssim):
+        ssim.pin("a", 1)
+        ssim.pin("b", 2)
+        fired = []
+
+        def from_a():
+            # Lookahead-safe: arrival one full bound past now.
+            ssim.call_at_node("b", ssim.now + 0.001, fired.append, "b")
+
+        ssim.call_at_node("a", 1.0, from_a)
+        ssim.run()
+        assert fired == ["b"]
+        assert ssim.cross_shard_messages == 1
+        assert ssim.lookahead_violations == 0
+        assert ssim.windows >= 1
+
+    def test_lookahead_violation_counted_but_exact(self, ssim):
+        ssim.pin("a", 1)
+        ssim.pin("b", 2)
+        fired = []
+
+        def from_a():
+            # Undercuts now + lookahead: a distributed run would have to
+            # roll back; here it must be counted AND still fire at the
+            # right time.
+            ssim.call_at_node("b", ssim.now + 0.0001, fired.append, ssim.now)
+
+        ssim.call_at_node("a", 1.0, from_a)
+        ssim.run()
+        assert len(fired) == 1
+        assert ssim.lookahead_violations == 1
+        assert ssim.now == pytest.approx(1.0001)
+
+    def test_same_lane_send_skips_channel(self, ssim):
+        ssim.pin("a", 1)
+        ssim.pin("b", 1)
+        fired = []
+
+        def from_a():
+            ssim.call_at_node("b", ssim.now + 0.0001, fired.append, "b")
+
+        ssim.call_at_node("a", 1.0, from_a)
+        ssim.run()
+        assert fired == ["b"]
+        assert ssim.cross_shard_messages == 0
+        assert ssim.lookahead_violations == 0
+
+    def test_null_messages_advance_silent_channels(self, ssim):
+        # Two lanes trade events while the other two stay silent: the
+        # silent lanes' channels must still advance their clocks.
+        ssim.pin("a", 0)
+        ssim.pin("b", 1)
+        ssim.call_at_node("a", 1.0, lambda: None)
+        ssim.call_at_node("b", 2.0, lambda: None)
+        ssim.run()
+        assert ssim.null_messages > 0
+        for channel in ssim._channels.values():
+            assert channel.clock > 0.0
+
+    def test_cancelled_parked_event_dropped(self, ssim):
+        ssim.pin("a", 1)
+        ssim.pin("b", 2)
+        fired = []
+        handle = {}
+
+        def from_a():
+            handle["ev"] = ssim.call_at_node(
+                "b", ssim.now + 0.001, fired.append, "b"
+            )
+            handle["ev"].cancel()
+
+        ssim.call_at_node("a", 1.0, from_a)
+        ssim.run()
+        assert fired == []
+
+    def test_shard_stats_shape(self, ssim):
+        stats = ssim.shard_stats()
+        assert stats["shards"] == 4
+        assert len(stats["lane_events"]) == 4
+        assert stats["lookahead_violations"] == 0
+
+
+# ----------------------------------------------------------------------
+# The kernel-level differential: any schedule/cancel/cross-send script
+# dispatches identically on the single heap and on 1/2/4 lanes.
+# ----------------------------------------------------------------------
+
+_LOOKAHEAD = 0.05
+
+
+def _run_script(kernel, pins, script):
+    """Execute a schedule script; returns (firing order, final clock).
+
+    Each script entry is ``(tick, address, kind)``: an event at ``tick``
+    grid-time on ``address``'s lane.  ``kind`` selects what the callback
+    does when it fires: nothing, schedule a local follow-up, or send a
+    lookahead-safe cross-node event.
+    """
+    fired = []
+
+    def make_cb(index, kind):
+        def cb():
+            fired.append((index, round(kernel.now, 6)))
+            if kind == 1:
+                kernel.call_after(0.1, fired.append, (index, "chain"))
+        return cb
+
+    # The single heap has no call_at_node; senders fall back to call_at.
+    def make_sender(index, address):
+        def cb():
+            fired.append((index, round(kernel.now, 6)))
+            target = pins[(pins.index(address) + 1) % len(pins)]
+            when = kernel.now + _LOOKAHEAD
+            send = getattr(kernel, "call_at_node", None)
+            if send is None:
+                kernel.call_at(when, fired.append, (index, "x"))
+            else:
+                send(target, when, fired.append, (index, "x"))
+        return cb
+
+    for index, (tick, address, kind) in enumerate(script):
+        time = tick / 10.0
+        if kind == 2:
+            cb = make_sender(index, address)
+        else:
+            cb = make_cb(index, kind)
+        send = getattr(kernel, "call_at_node", None)
+        if send is None:
+            kernel.call_at(time, cb)
+        else:
+            send(address, time, cb)
+    kernel.run()
+    return fired, round(kernel.now, 6)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 40),      # time tick
+            st.integers(0, 3),       # address index
+            st.integers(0, 2),       # callback kind
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_sharded_matches_single_heap(script, shards):
+    pins = [f"node:{i}" for i in range(4)]
+    script = [(tick, pins[addr], kind) for tick, addr, kind in script]
+
+    single = Simulator()
+    expected = _run_script(single, pins, script)
+
+    sharded = ShardedSimulator(shards=shards, lookahead=_LOOKAHEAD)
+    for i, address in enumerate(pins):
+        sharded.pin(address, i % shards)
+    actual = _run_script(sharded, pins, script)
+
+    assert actual == expected
+    assert sharded.lookahead_violations == 0

@@ -1,9 +1,11 @@
 """Sphinx configuration for the observability API reference.
 
 Build with ``sphinx-build -W -b html docs docs/_build`` (warnings are
-errors in CI; see .github/workflows/ci.yml).  Only the observability
-surface is documented here — the rest of the reproduction documents
-itself in the top-level Markdown files.
+errors in CI; see .github/workflows/ci.yml).  The API reference covers
+the observability and live-backend surfaces; the Markdown reference
+documents (ARCHITECTURE, WIRE, BENCHMARKS, OBSERVABILITY) are pulled
+in verbatim via thin ``literalinclude`` wrapper pages — no Markdown
+extension required.
 """
 
 import os

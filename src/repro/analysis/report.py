@@ -104,6 +104,14 @@ PAPER_CLAIMS = {
         "files; the paper's own OC-3/4-disk cubs were always "
         "disk-limited.",
     ),
+    "live_load": (
+        "§5 testbed methodology — live socket backend (extension)",
+        "The paper measured Tiger on real machines streaming over a "
+        "switched ATM network.  Our live backend replays the identical "
+        "protocol over localhost sockets — one process per cub, binary "
+        "wire frames, open-loop Zipf arrivals — and its counters must "
+        "agree with the simulator's for the same seeded arrival trace.",
+    ),
     "chaos_soak": (
         "§4–§5 correctness under faults (chaos soak)",
         "The schedule protocol's claims — single ownership of every "
@@ -132,6 +140,7 @@ EXPERIMENT_ORDER = [
     "ablation_admission",
     "ablation_deadman",
     "mbr_bottleneck_crossover",
+    "live_load",
     "chaos_soak",
 ]
 

@@ -12,6 +12,10 @@ writes machine-readable ``BENCH_<name>.json`` files:
   monitor (drops, a cub crash-restart, a controller kill).
 * ``scale`` — cub-count sweep (4 → 64 cubs at ~50% load), probing the
   §3.3 claim that per-cub work stays constant as the system grows.
+* ``live``  — wire-codec throughput over a seeded arrival-trace frame
+  mix (JSON vs binary), plus — full mode only — a real-socket cluster
+  run whose noisy stats land in an ungated ``cluster`` section (see
+  :mod:`repro.bench.live`).
 
 Each workload is measured twice: a **clean pass** (no instrumentation)
 for events/sec and sim-seconds-per-wall-second, and an **instrumented
@@ -412,7 +416,7 @@ _WORKLOAD_RUNNERS = {
 }
 
 #: Workload names in canonical execution order.
-WORKLOADS = ("kernel", "fig8", "chaos", "scale")
+WORKLOADS = ("kernel", "fig8", "chaos", "scale", "live")
 
 
 class BenchError(RuntimeError):
@@ -461,7 +465,8 @@ def run_workload(
 ) -> Dict[str, Any]:
     """Run one named workload and return its BENCH result dict.
 
-    :param name: ``kernel``, ``fig8``, ``chaos``, or ``scale``.
+    :param name: ``kernel``, ``fig8``, ``chaos``, ``scale``, or
+        ``live``.
     :param seed: RNG seed for the run (stamped into the result).
     :param quick: Reduced-scale variant (CI smoke).
     :param with_memory: Skip the instrumented pass when False (faster;
@@ -476,6 +481,11 @@ def run_workload(
         raise BenchError(f"shards must be >= 1, got {shards}")
     if name == "scale":
         return _run_scale_workload(seed=seed, quick=quick, shards=shards)
+    if name == "live":
+        # Imported lazily: the live tier drags in the socket backend.
+        from repro.bench.live import run_live_workload
+
+        return run_live_workload(seed=seed, quick=quick)
     runner = _WORKLOAD_RUNNERS.get(name)
     if runner is None:
         raise BenchError(f"unknown workload {name!r} (have {WORKLOADS})")
@@ -690,6 +700,25 @@ def summary_lines(result: Dict[str, Any]) -> List[str]:
         out.append(
             f"         {row['name']:<48s} {row['calls']:>8d} calls "
             f"{row['wall_s'] * 1e3:9.2f} ms ({mean_us:6.1f} us/call)"
+        )
+    for row in result.get("codecs", []):
+        line = (
+            f"         codec={row['codec']:<7s} {row['frames']:>7d} frames "
+            f"{row['bytes'] / 1e6:7.2f} MB  "
+            f"{row['frames_per_sec']:>10.0f} frames/s "
+            f"({row['mean_frame_bytes']:.0f} B/frame)"
+        )
+        if "speedup_vs_json" in row:
+            line += f"  {row['speedup_vs_json']:.2f}x vs json"
+        out.append(line)
+    cluster = result.get("cluster") or {}
+    if cluster:
+        out.append(
+            f"         cluster: {cluster.get('viewers', 0)} viewers on "
+            f"{cluster.get('cubs', 0)} cubs/{cluster.get('hubs', 0)} hubs, "
+            f"{cluster.get('viewers_admitted_per_sec', 0.0):.1f} admitted/s, "
+            f"p99 lateness {cluster.get('block_lateness_p99_s', 0.0):.3f}s, "
+            f"{'PASS' if cluster.get('passed') else 'FAIL'}"
         )
     for row in result.get("sweep", []):
         line = (

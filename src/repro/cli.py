@@ -382,6 +382,9 @@ def cmd_cluster(args) -> int:
             num_files=args.files,
             file_duration_s=args.file_seconds,
             deadman_timeout=args.deadman,
+            codec=args.codec,
+            arrivals=args.arrivals,
+            hubs=args.hubs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -497,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark matrix")
     bench.add_argument("--workloads", default=None, metavar="NAMES",
                        help="comma-separated subset of "
-                            "kernel,fig8,chaos,scale (default: all)")
+                            "kernel,fig8,chaos,scale,live (default: all)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json files")
     bench.add_argument("--seed", type=int, default=0)
@@ -538,8 +541,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of cub processes (minimum 3)")
     cluster.add_argument("--duration", type=float, default=20.0,
                          help="wall-clock seconds of protocol runtime")
-    cluster.add_argument("--streams", type=int, default=6,
-                         help="viewer streams driven from the driver")
+    cluster.add_argument("--streams", "--viewers", dest="streams",
+                         type=int, default=6,
+                         help="viewer streams driven from the driver "
+                              "(--viewers is an alias for load-test "
+                              "phrasing)")
+    cluster.add_argument("--codec", choices=("json", "binary"),
+                         default="json",
+                         help="preferred wire codec; negotiated per "
+                              "connection, JSON-only peers keep working")
+    cluster.add_argument("--arrivals",
+                         choices=("stagger", "zipf", "flash"),
+                         default="stagger",
+                         help="viewer arrival trace: deterministic ramp, "
+                              "Poisson+Zipf long tail, or live flash "
+                              "crowd (see docs/WIRE.md companion "
+                              "workloads)")
+    cluster.add_argument("--hubs", type=int, default=1,
+                         help="hub listener sockets to shard node "
+                              "connections across (one per cub group)")
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--files", type=int, default=8)
     cluster.add_argument("--file-seconds", type=float, default=120.0)

@@ -15,9 +15,25 @@ Topology
 Endpoints never talk directly: every node opens exactly one TCP
 connection to the driver, which routes by destination address
 (``cub:2``, ``controller``, ``client:0``).  That mirrors the paper's
-switched fabric, keeps join/handshake trivial (one listening socket),
-and gives the driver a complete vantage point: it sees every frame,
-every disconnect, and every metrics snapshot.
+switched fabric, keeps join/handshake trivial, and gives the driver a
+complete vantage point: it sees every frame, every disconnect, and
+every metrics snapshot.  The driver listens on ``scenario.hubs``
+sockets — one hub per cub *group*, the same group boundaries
+``sim/shard.py`` partitions on (``hub_of(c) = c * hubs // cubs``) —
+so connection handling shards across listener tasks while the routing
+table stays global.  Each connection gets a send queue with high/low
+watermark backpressure accounting and a hard cap (see
+:class:`NodeConnection`), so one slow peer cannot wedge the hub.
+
+Codecs
+------
+Frames start as v1 JSON.  A node's ``hello`` advertises the codecs it
+speaks; the hub answers with a ``codec_ack`` choosing one per
+connection (:func:`repro.live.wire.choose_codec`, steered by
+``scenario.codec``), after which both sides *encode* protocol
+messages with the chosen codec — decoders accept both at all times,
+and control frames stay JSON forever.  Per-codec frame/byte counters
+land in ``live.wire_frames`` / ``live.wire_bytes``.
 
 Determinism and comparability
 -----------------------------
@@ -44,9 +60,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from collections import deque
+
 from repro.config import TigerConfig
 from repro.core.client import ViewerClient
 from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
+from repro.core.protocol import BlockData
 from repro.faults.live import LiveFaultInjector, kill_cub_plan
 from repro.live.node import (
     DEFAULT_METRICS_INTERVAL,
@@ -59,11 +78,14 @@ from repro.live.node import (
 from repro.live.runtime import LiveRuntime
 from repro.live.transport import HubTransport
 from repro.live.wire import (
+    CODEC_JSON,
+    SUPPORTED_CODECS,
     FrameDecoder,
     WireError,
+    WireStats,
+    choose_codec,
     control_frame,
-    message_frame,
-    parse_frame,
+    encode_message,
 )
 from repro.net.message import Message, reset_message_ids
 from repro.obs.registry import (
@@ -71,11 +93,26 @@ from repro.obs.registry import (
     merge_snapshots,
     snapshot_total,
 )
+from repro.workloads.arrivals import (
+    ARRIVAL_MODES,
+    DEFAULT_ZIPF_EXPONENT,
+    open_loop_trace,
+)
 
 #: How long the driver waits for every node to join before giving up.
 JOIN_TIMEOUT = 30.0
 #: How long the driver waits for nodes to say goodbye after ``_stop``.
 DRAIN_TIMEOUT = 8.0
+
+#: Send-queue depth (bytes) at which a connection counts itself
+#: backpressured; cleared once the drainer works it back under the
+#: low watermark.
+SEND_HIGH_WATERMARK = 256 * 1024
+SEND_LOW_WATERMARK = 64 * 1024
+#: Hard send-queue cap: beyond this, frames to that peer are dropped
+#: and counted (``live.hub_sendq_dropped``) instead of ballooning the
+#: driver's memory — the live analogue of a switch queue overflowing.
+SEND_QUEUE_HARD_CAP = 4 * 1024 * 1024
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +143,16 @@ class ClusterScenario:
     #: Seconds between the ``_start`` broadcast and the shared epoch —
     #: the window in which every node builds its content state.
     start_delta: float = 1.5
+    #: Preferred message codec (``json`` or ``binary``); negotiated
+    #: per connection, so a peer that only speaks JSON stays on JSON.
+    codec: str = CODEC_JSON
+    #: Arrival-trace shape (see :mod:`repro.workloads.arrivals`).
+    arrivals: str = "stagger"
+    #: Catalog popularity skew for random arrival modes.
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT
+    #: Listener sockets to shard node connections across — one per
+    #: cub group, same boundaries as ``sim/shard.py``.
+    hubs: int = 1
 
     def __post_init__(self) -> None:
         if self.cubs < 3:
@@ -114,6 +161,18 @@ class ClusterScenario:
             raise ValueError("duration too short for any stream to start")
         if self.kill_cub is not None and not 0 <= self.kill_cub < self.cubs:
             raise ValueError(f"kill target cub:{self.kill_cub} out of range")
+        if self.codec not in SUPPORTED_CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; pick one of "
+                f"{sorted(SUPPORTED_CODECS)}"
+            )
+        if self.arrivals not in ARRIVAL_MODES:
+            raise ValueError(
+                f"unknown arrival mode {self.arrivals!r}; pick one of "
+                f"{ARRIVAL_MODES}"
+            )
+        if not 1 <= self.hubs <= self.cubs:
+            raise ValueError("hubs must be within [1, cubs]")
 
     def config(self) -> TigerConfig:
         """The Tiger config both backends run."""
@@ -126,14 +185,38 @@ class ClusterScenario:
         )
 
     def stream_plan(self) -> List[Tuple[int, int, float]]:
-        """``(client_index, file_index, start_time)`` per stream."""
+        """``(client_index, file_index, start_time)`` per stream.
+
+        ``stagger`` keeps the legacy deterministic ramp byte-for-byte
+        (existing baselines and smoke runs depend on it); the random
+        modes delegate to :func:`repro.workloads.arrivals
+        .open_loop_trace`, seeded from the scenario, so the simulator
+        replay sees the identical offered load.
+        """
+        if self.arrivals == "stagger":
+            return [
+                (
+                    index,
+                    index % self.num_files,
+                    self.first_start + index * self.stream_stagger,
+                )
+                for index in range(self.streams)
+            ]
+        # Leave the last quarter of the run for started streams to
+        # actually play; the window floor keeps tiny durations legal.
+        window_end = max(self.first_start + 1.0, self.duration * 0.75)
+        trace = open_loop_trace(
+            viewers=self.streams,
+            num_files=self.num_files,
+            start=self.first_start,
+            end=window_end,
+            seed=self.seed,
+            mode=self.arrivals,
+            zipf_exponent=self.zipf_exponent,
+        )
         return [
-            (
-                index,
-                index % self.num_files,
-                self.first_start + index * self.stream_stagger,
-            )
-            for index in range(self.streams)
+            (arrival.client_index, arrival.file_index, arrival.time)
+            for arrival in trace
         ]
 
     def stop_plan(self) -> List[Tuple[int, float]]:
@@ -160,6 +243,22 @@ class ClusterScenario:
             out.append(BACKUP_CONTROLLER_ADDRESS)
         return out
 
+    def hub_of(self, cub_id: int) -> int:
+        """Which hub listener a cub connects to.
+
+        Same group-boundary formula ``sim/shard.py`` uses to partition
+        cubs across shard lanes, so a live multi-hub topology shards
+        connections along the exact lines the partitioned simulator
+        partitions events.
+        """
+        return cub_id * self.hubs // self.cubs
+
+    def hub_index_of(self, address: str) -> int:
+        """Hub listener for any node address (non-cubs ride hub 0)."""
+        if address.startswith("cub:"):
+            return self.hub_of(int(address.split(":", 1)[1]))
+        return 0
+
     def namespace_of(self, address: str) -> int:
         """Disjoint message-id namespaces: cub i -> i+1, controller ->
         N+1, backup -> N+2, the driver itself -> N+3 (0 stays free so a
@@ -178,14 +277,112 @@ class ClusterScenario:
 
 
 # ----------------------------------------------------------------------
-# The hub: one listening socket, a routing table, a metrics inbox
+# Per-connection send queue with watermark backpressure
+# ----------------------------------------------------------------------
+class NodeConnection:
+    """One peer's socket, fronted by a bounded send queue.
+
+    Writers never touch the :class:`asyncio.StreamWriter` directly:
+    :meth:`send` enqueues the frame and a single drainer task per
+    connection writes it out, awaiting ``writer.drain()`` so a slow
+    peer backpressures only its own drainer — the routing hot path
+    stays non-blocking.  Crossing :data:`SEND_HIGH_WATERMARK` counts a
+    backpressure event (cleared at :data:`SEND_LOW_WATERMARK`);
+    overflowing :data:`SEND_QUEUE_HARD_CAP` drops the frame and counts
+    it, the moral equivalent of a switch queue tail-dropping.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        writer: asyncio.StreamWriter,
+        backpressure_counter: Any,
+        dropped_counter: Any,
+    ) -> None:
+        self.address = address
+        self.writer = writer
+        #: Negotiated *encoding* codec for protocol messages.
+        self.codec = CODEC_JSON
+        self.backpressure_events = backpressure_counter
+        self.sendq_dropped = dropped_counter
+        self._queue: deque = deque()
+        self._queued_bytes = 0
+        self._paused = False
+        self._closed = False
+        self._wake = asyncio.Event()
+        self._drainer = asyncio.ensure_future(self._drain_loop())
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def is_closing(self) -> bool:
+        return self._closed or self.writer.is_closing()
+
+    def send(self, frame: bytes) -> bool:
+        """Enqueue one frame; False when closed or over the hard cap."""
+        if self.is_closing():
+            return False
+        if self._queued_bytes + len(frame) > SEND_QUEUE_HARD_CAP:
+            self.sendq_dropped.increment()
+            return False
+        self._queue.append(frame)
+        self._queued_bytes += len(frame)
+        if self._queued_bytes >= SEND_HIGH_WATERMARK and not self._paused:
+            self._paused = True
+            self.backpressure_events.increment()
+        self._wake.set()
+        return True
+
+    def close(self) -> None:
+        """Stop the drainer and close the socket."""
+        self._closed = True
+        self._wake.set()
+        if not self.writer.is_closing():
+            self.writer.close()
+
+    async def _drain_loop(self) -> None:
+        try:
+            while not self._closed:
+                await self._wake.wait()
+                self._wake.clear()
+                while self._queue and not self._closed:
+                    frame = self._queue.popleft()
+                    self._queued_bytes -= len(frame)
+                    if self._paused and self._queued_bytes <= SEND_LOW_WATERMARK:
+                        self._paused = False
+                    self.writer.write(frame)
+                    # TCP backpressure lands here: a full kernel buffer
+                    # parks this drainer, frames pool in the queue, and
+                    # the watermark accounting above sees it.
+                    await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._closed = True
+
+
+# ----------------------------------------------------------------------
+# The hub: sharded listeners, one routing table, a metrics inbox
 # ----------------------------------------------------------------------
 class ClusterHub:
     """Routes frames between node sockets and driver-local components."""
 
-    def __init__(self, expected: List[str], registry: MetricsRegistry) -> None:
+    def __init__(
+        self,
+        expected: List[str],
+        registry: MetricsRegistry,
+        preferred_codec: str = CODEC_JSON,
+        hubs: int = 1,
+    ) -> None:
         self.expected = set(expected)
-        self.writers: Dict[str, asyncio.StreamWriter] = {}
+        self.preferred_codec = preferred_codec
+        self.hubs = max(1, hubs)
+        self.connections: Dict[str, NodeConnection] = {}
         #: Driver-local delivery targets (the viewer clients).
         self.local: Dict[str, Callable[[Message], None]] = {}
         #: Latest metrics snapshot per node address.
@@ -198,7 +395,7 @@ class ClusterHub:
         self.expected_exits: set = set()
         self.all_joined = asyncio.Event()
         self.wire_errors: List[str] = []
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._servers: List[asyncio.AbstractServer] = []
         self.routed = registry.counter(
             "live.hub_messages_routed",
             help="Protocol messages routed through the cluster hub",
@@ -207,21 +404,42 @@ class ClusterHub:
             "live.hub_messages_dropped",
             help="Messages to unreachable addresses (e.g. killed nodes)",
             unit="messages")
+        self.backpressure_events = registry.counter(
+            "live.hub_backpressure_events",
+            help="Connection send queues crossing the high watermark",
+            unit="events")
+        self.sendq_dropped = registry.counter(
+            "live.hub_sendq_dropped",
+            help="Frames dropped at the per-connection hard queue cap",
+            unit="frames")
+        self.wire_stats = WireStats(registry, node="hub")
 
-    async def start(self) -> int:
-        """Listen on an ephemeral localhost port; returns the port."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, "127.0.0.1", 0
-        )
-        return self._server.sockets[0].getsockname()[1]
+    async def start(self) -> List[int]:
+        """Listen on ``hubs`` ephemeral localhost ports; returns them."""
+        ports: List[int] = []
+        for _ in range(self.hubs):
+            server = await asyncio.start_server(
+                self._handle_connection, "127.0.0.1", 0
+            )
+            self._servers.append(server)
+            ports.append(server.sockets[0].getsockname()[1])
+        return ports
 
     async def stop(self) -> None:
-        for writer in list(self.writers.values()):
-            if not writer.is_closing():
-                writer.close()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for connection in list(self.connections.values()):
+            connection.close()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+
+    # -- framed sends --------------------------------------------------
+    def _send_control(self, connection: NodeConnection, frame: bytes) -> bool:
+        """Queue a (JSON) control frame, with tx accounting."""
+        if connection.send(frame):
+            self.wire_stats.on_encoded(CODEC_JSON, len(frame))
+            return True
+        return False
 
     # -- routing ------------------------------------------------------
     def route(self, message: Message) -> bool:
@@ -231,41 +449,62 @@ class ClusterHub:
             self.routed.increment()
             deliver(message)
             return True
-        writer = self.writers.get(message.dst)
-        if writer is None or writer.is_closing():
+        connection = self.connections.get(message.dst)
+        if connection is None or connection.is_closing():
             self.dropped.increment()
             return False
-        writer.write(message_frame(message))
+        frame = encode_message(message, connection.codec, self.wire_stats)
+        if not connection.send(frame):
+            self.dropped.increment()
+            return False
         self.routed.increment()
         return True
 
     def broadcast(self, frame: bytes) -> None:
-        """Write one control frame to every connected node."""
-        for writer in self.writers.values():
-            if not writer.is_closing():
-                writer.write(frame)
+        """Queue one control frame to every connected node."""
+        for connection in self.connections.values():
+            self._send_control(connection, frame)
 
     # -- per-connection service ---------------------------------------
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(stats=self.wire_stats)
         address: Optional[str] = None
+        connection: Optional[NodeConnection] = None
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
-                for body in decoder.feed(data):
-                    kind, parsed = parse_frame(body)
+                for kind, parsed in decoder.feed_parsed(data):
                     if kind == "msg":
                         self.route(parsed)
                         continue
                     ctl = parsed.get("ctl")
                     if ctl == "hello":
                         address = parsed["node"]
-                        self.writers[address] = writer
-                        if self.expected <= set(self.writers):
+                        connection = NodeConnection(
+                            address,
+                            writer,
+                            self.backpressure_events,
+                            self.sendq_dropped,
+                        )
+                        self.connections[address] = connection
+                        # Codec negotiation: a peer that advertised
+                        # nothing is a v1 build — leave it on JSON and
+                        # send no ack it wouldn't understand anyway.
+                        offered = parsed.get("codecs")
+                        if offered:
+                            chosen = choose_codec(
+                                offered, self.preferred_codec
+                            )
+                            connection.codec = chosen
+                            self._send_control(
+                                connection,
+                                control_frame("codec_ack", codec=chosen),
+                            )
+                        if self.expected <= set(self.connections):
                             self.all_joined.set()
                     elif ctl == "_metrics":
                         self.node_metrics[parsed["node"]] = parsed["data"]
@@ -276,14 +515,22 @@ class ClusterHub:
             pass
         except WireError as error:
             self.wire_errors.append(f"{address or '?'}: {error}")
+            if connection is not None and not connection.is_closing():
+                # Tell the peer why it is about to lose its socket.
+                self._send_control(
+                    connection,
+                    control_frame("_error", reason=str(error)),
+                )
         finally:
             if address is not None:
-                self.writers.pop(address, None)
+                self.connections.pop(address, None)
                 reason = (
                     "clean" if address in self.expected_exits else "unexpected"
                 )
                 self.disconnects.append((address, reason))
-            if not writer.is_closing():
+            if connection is not None:
+                connection.close()
+            elif not writer.is_closing():
                 writer.close()
 
 
@@ -366,7 +613,8 @@ class ClusterReport:
         lines.append(
             f"live cluster: {scenario.cubs} cubs, {scenario.streams} "
             f"streams, {scenario.duration:g}s runtime "
-            f"({self.wall_seconds:.1f}s wall)"
+            f"({self.wall_seconds:.1f}s wall), codec {scenario.codec}, "
+            f"arrivals {scenario.arrivals}, {scenario.hubs} hub(s)"
         )
         for when, address in self.kills:
             lines.append(f"  fault: SIGKILL {address} at t={when:g}s")
@@ -383,6 +631,9 @@ class ClusterReport:
             "controller.starts_routed",
             "controller.stops_routed",
             "live.hub_messages_routed",
+            "live.wire_frames",
+            "live.hub_backpressure_events",
+            "live.hub_sendq_dropped",
         ):
             lines.append(
                 f"  {name:<34} {snapshot_total(self.merged, name):>12g}"
@@ -450,6 +701,7 @@ def _write_node_spec(
     address: str,
     port: int,
 ) -> Path:
+    """Write one node's boot spec; ``port`` is its hub listener."""
     if address.startswith("cub:"):
         role, node_id = ROLE_CUB, int(address.split(":", 1)[1])
     elif address == "controller":
@@ -478,7 +730,10 @@ def _write_node_spec(
 
 
 def _spawn_nodes(
-    workdir: Path, scenario: ClusterScenario, port: int, cluster: LiveCluster
+    workdir: Path,
+    scenario: ClusterScenario,
+    ports: List[int],
+    cluster: LiveCluster,
 ) -> None:
     env = dict(os.environ)
     src_dir = str(Path(__file__).resolve().parents[2])
@@ -487,6 +742,7 @@ def _spawn_nodes(
         src_dir if not existing else src_dir + os.pathsep + existing
     )
     for address in scenario.node_addresses():
+        port = ports[scenario.hub_index_of(address)]
         spec_path = _write_node_spec(workdir, scenario, address, port)
         log_path = workdir / f"{address.replace(':', '-')}.log"
         with open(log_path, "wb") as log:
@@ -504,15 +760,22 @@ async def _run_cluster_async(
     wall_start = time.time()
     registry = MetricsRegistry()
     cluster = LiveCluster()
-    hub = ClusterHub(scenario.node_addresses(), registry)
+    hub = ClusterHub(
+        scenario.node_addresses(),
+        registry,
+        preferred_codec=scenario.codec,
+        hubs=scenario.hubs,
+    )
     cluster.hub = hub
-    port = await hub.start()
+    ports = await hub.start()
     workdir = Path(tempfile.mkdtemp(prefix="tiger-live-"))
     echo(
         f"booting {len(scenario.node_addresses())} node processes "
-        f"(hub on 127.0.0.1:{port}, workdir {workdir})"
+        f"({len(ports)} hub listener(s) on 127.0.0.1:"
+        f"{','.join(str(p) for p in ports)}, codec {scenario.codec}, "
+        f"workdir {workdir})"
     )
-    _spawn_nodes(workdir, scenario, port, cluster)
+    _spawn_nodes(workdir, scenario, ports, cluster)
     try:
         await asyncio.wait_for(
             hub.all_joined.wait(), timeout=JOIN_TIMEOUT
@@ -520,7 +783,7 @@ async def _run_cluster_async(
     except asyncio.TimeoutError:
         cluster.reap()
         await hub.stop()
-        missing = sorted(hub.expected - set(hub.writers))
+        missing = sorted(hub.expected - set(hub.connections))
         raise RuntimeError(
             f"cluster never assembled: {missing} did not join within "
             f"{JOIN_TIMEOUT:g}s (logs in {workdir})"
@@ -544,6 +807,31 @@ async def _run_cluster_async(
         duration_s=scenario.file_duration_s,
     )
     transport = HubTransport(hub, runtime)
+    lateness = registry.histogram(
+        "live.block_lateness",
+        help="Whole-block arrival time minus play deadline at "
+             "driver-hosted viewers (negative = early)",
+        unit="seconds",
+    )
+
+    def _observed_deliver(client: ViewerClient) -> Callable[[Message], None]:
+        """Delivery tap: record block-service lateness, then deliver."""
+
+        def deliver(message: Message) -> None:
+            payload = message.payload
+            if isinstance(payload, BlockData) and payload.piece is None:
+                monitor = client.streams.get(payload.instance)
+                if (
+                    monitor is not None
+                    and monitor.first_block_time is not None
+                ):
+                    lateness.observe(
+                        runtime.now - monitor.deadline(payload.play_seqno)
+                    )
+            client.deliver(message)
+
+        return deliver
+
     clients: List[ViewerClient] = []
     for client_index in range(scenario.streams):
         client = ViewerClient(
@@ -556,7 +844,7 @@ async def _run_cluster_async(
                 BACKUP_CONTROLLER_ADDRESS if scenario.backup else None
             ),
         )
-        hub.local[client.address] = client.deliver
+        hub.local[client.address] = _observed_deliver(client)
         clients.append(client)
 
     instances: Dict[int, int] = {}
@@ -588,11 +876,11 @@ async def _run_cluster_async(
     await asyncio.sleep(max(0.0, epoch + scenario.duration - time.time()))
 
     # Stop: ask every surviving node to snapshot and sign off.
-    for address in hub.writers:
+    for address in hub.connections:
         hub.expected_exits.add(address)
     hub.broadcast(control_frame("_stop"))
     drain_deadline = time.time() + DRAIN_TIMEOUT
-    while time.time() < drain_deadline and hub.writers:
+    while time.time() < drain_deadline and hub.connections:
         await asyncio.sleep(0.05)
     runtime.cancel_all()
     cluster.reap()
@@ -615,6 +903,11 @@ async def _run_cluster_async(
                 help="Driver-hosted viewer reception bookkeeping",
                 unit="blocks", node=client.address,
             ).set(total)
+    registry.gauge(
+        "live.block_lateness_p99",
+        help="p99 of live.block_lateness across the whole run",
+        unit="seconds",
+    ).set(lateness.quantile(0.99) if lateness.n else 0.0)
 
     killed = {address for _, address in cluster.kills}
     unexpected = [

@@ -46,7 +46,13 @@ from repro.core.slots import SlotClock
 from repro.faults.live import CubInvariantProbe
 from repro.live.runtime import LiveRuntime
 from repro.live.transport import NodeTransport
-from repro.live.wire import FrameDecoder, control_frame, parse_frame
+from repro.live.wire import (
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    FrameDecoder,
+    WireStats,
+    control_frame,
+)
 from repro.net.message import reset_message_ids
 from repro.obs.registry import MetricsRegistry
 from repro.sim.rng import RngRegistry
@@ -205,6 +211,9 @@ class LiveNode:
         self.component: Any = None
         self.probe: Optional[CubInvariantProbe] = None
         self._stopping = False
+        #: Outgoing message codec; JSON until the hub's ``codec_ack``.
+        self.codec = CODEC_JSON
+        self.wire_stats = WireStats(self.registry, node=self.address)
 
     # -- metrics ------------------------------------------------------
     def _publish_runtime_health(self) -> None:
@@ -237,10 +246,16 @@ class LiveNode:
             data=self.registry.snapshot(),
         )
 
+    def _write_control(self, writer: asyncio.StreamWriter, frame: bytes) -> None:
+        # Control frames are always JSON; count them so tx accounting
+        # covers every frame this node puts on the wire.
+        writer.write(frame)
+        self.wire_stats.on_encoded(CODEC_JSON, len(frame))
+
     def _pump_metrics(self, writer: asyncio.StreamWriter) -> None:
         if self._stopping or writer.is_closing():
             return
-        writer.write(self._metrics_frame())
+        self._write_control(writer, self._metrics_frame())
         self.runtime.call_after(
             self.metrics_interval, self._pump_metrics, writer
         )
@@ -252,12 +267,16 @@ class LiveNode:
         reader, writer = await asyncio.open_connection(
             spec.get("host", "127.0.0.1"), int(spec["port"])
         )
-        writer.write(
-            control_frame("hello", node=self.address, pid=os.getpid())
+        self._write_control(
+            writer,
+            control_frame(
+                "hello", node=self.address, pid=os.getpid(),
+                codecs=list(SUPPORTED_CODECS),
+            ),
         )
         await writer.drain()
 
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(stats=self.wire_stats)
         start_body = await self._await_start(reader, decoder)
         epoch = float(start_body["epoch"])
 
@@ -267,7 +286,9 @@ class LiveNode:
 
         loop = asyncio.get_running_loop()
         self.runtime = LiveRuntime(epoch, loop)
-        self.transport = NodeTransport(self.runtime, writer)
+        self.transport = NodeTransport(
+            self.runtime, writer, codec=self.codec, stats=self.wire_stats
+        )
         world = NodeWorld(
             config_from_dict(spec["config"]),
             num_files=int(spec.get("content", {}).get("num_files", 16)),
@@ -289,6 +310,26 @@ class LiveNode:
         await self._serve(reader, writer, decoder)
         return 0
 
+    def _handle_control(self, parsed: Dict[str, Any]) -> None:
+        ctl = parsed.get("ctl")
+        if ctl == "codec_ack":
+            # Negotiation result: switch the *encoder*.  The decoder
+            # accepts both codecs throughout, so ordering races between
+            # the ack and in-flight frames are harmless.
+            self.codec = str(parsed.get("codec", CODEC_JSON))
+            if self.transport is not None:
+                self.transport.set_codec(self.codec)
+        elif ctl == "_error":
+            # The hub rejected one of our frames; record and carry on
+            # (the hub closes the connection for fatal decode errors).
+            print(
+                f"{self.address}: hub reported wire error: "
+                f"{parsed.get('reason', '?')}",
+                flush=True,
+            )
+        elif ctl == "_stop":
+            self._stopping = True
+
     async def _await_start(
         self, reader: asyncio.StreamReader, decoder: FrameDecoder
     ) -> Dict[str, Any]:
@@ -296,11 +337,12 @@ class LiveNode:
             data = await reader.read(65536)
             if not data:
                 raise ConnectionError("hub closed before _start")
-            for body in decoder.feed(data):
-                kind, parsed = parse_frame(body)
-                if kind == "ctl" and parsed.get("ctl") == "_start":
+            for kind, parsed in decoder.feed_parsed(data):
+                if kind != "ctl":
+                    continue  # pre-start protocol traffic: driver bug
+                if parsed.get("ctl") == "_start":
                     return parsed
-                # Anything else pre-start is a driver bug; drop it.
+                self._handle_control(parsed)
 
     async def _serve(
         self,
@@ -312,12 +354,11 @@ class LiveNode:
             data = await reader.read(65536)
             if not data:
                 break  # hub gone: shut down quietly
-            for body in decoder.feed(data):
-                kind, parsed = parse_frame(body)
+            for kind, parsed in decoder.feed_parsed(data):
                 if kind == "msg":
                     self.component.deliver(parsed)
-                elif parsed.get("ctl") == "_stop":
-                    self._stopping = True
+                else:
+                    self._handle_control(parsed)
         await self._shutdown(writer)
 
     async def _shutdown(self, writer: asyncio.StreamWriter) -> None:
@@ -328,8 +369,9 @@ class LiveNode:
         if not writer.is_closing():
             # Final snapshot + sign-off so the driver's merged report
             # includes everything up to the stop instant.
-            writer.write(self._metrics_frame())
-            writer.write(
+            self._write_control(writer, self._metrics_frame())
+            self._write_control(
+                writer,
                 control_frame(
                     "_bye",
                     node=self.address,
@@ -339,7 +381,7 @@ class LiveNode:
                         {"t": t, "fn": fn, "traceback": tb}
                         for t, fn, tb in self.runtime.errors[:8]
                     ],
-                )
+                ),
             )
             try:
                 await writer.drain()

@@ -377,10 +377,26 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     once, and the merged family keeps the overflow row **last** — the
     same placement :meth:`MetricsRegistry.snapshot` guarantees.
 
+    Not every node exports the same series set — a killed cub never
+    reaches the code paths that would create some families, and a
+    driver-local registry carries series no subprocess has.  A series
+    absent from a snapshot merges as **zero contribution** (counters
+    and histograms simply don't add, gauges don't overwrite), and
+    every such hole is counted into a synthetic
+    ``merge.missing_series`` gauge in the merged output: for each
+    family, each snapshot that exports the family but lacks one of the
+    merged series keys contributes one missing series.  A nonzero
+    value is expected under faults; it exists so asymmetric exports
+    are visible instead of silent.
+
     :param snapshots: One snapshot dict per node, in merge order.
     :returns: A combined snapshot in the same format.
     """
     merged: Dict[str, Any] = {}
+    #: family name -> number of snapshots exporting that family.
+    family_exports: Dict[str, int] = {}
+    #: family name -> series key -> number of contributing snapshots.
+    series_exports: Dict[str, Dict[tuple, int]] = {}
     for snapshot in snapshots:
         for name, family in snapshot.items():
             target = merged.get(name)
@@ -393,10 +409,13 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                     "_index": {},
                 }
                 merged[name] = target
+            family_exports[name] = family_exports.get(name, 0) + 1
+            contributors = series_exports.setdefault(name, {})
             index = target["_index"]
             for row in family.get("series", ()):
                 labels = row.get("labels", {})
                 key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+                contributors[key] = contributors.get(key, 0) + 1
                 value = row.get("value")
                 existing = index.get(key)
                 if existing is None:
@@ -424,6 +443,20 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             # last no matter where later snapshots' rows interleaved it.
             family["series"].remove(overflow_entry)
             family["series"].append(overflow_entry)
+    missing = 0
+    for name, contributors in series_exports.items():
+        exports = family_exports[name]
+        for count in contributors.values():
+            missing += exports - count
+    merged["merge.missing_series"] = {
+        "kind": KIND_GAUGE,
+        "help": (
+            "Series absent from some snapshots that exported the family "
+            "(merged as zero contribution)"
+        ),
+        "unit": "series",
+        "series": [{"labels": {}, "value": float(missing)}],
+    }
     return merged
 
 

@@ -1,10 +1,13 @@
 """Workload drivers reproducing the paper's §5 experimental procedure."""
 
+from repro.workloads.arrivals import ARRIVAL_MODES, Arrival, open_loop_trace
 from repro.workloads.generator import DEFAULT_STREAMS_PER_CLIENT, ContinuousWorkload
 from repro.workloads.ramp import RampDriver, RampResult
 from repro.workloads.startup import StartSample, StartupLatencyProbe, StartupResult
 
 __all__ = [
+    "ARRIVAL_MODES",
+    "Arrival",
     "ContinuousWorkload",
     "DEFAULT_STREAMS_PER_CLIENT",
     "RampDriver",
@@ -12,4 +15,5 @@ __all__ = [
     "StartupLatencyProbe",
     "StartupResult",
     "StartSample",
+    "open_loop_trace",
 ]

@@ -1,0 +1,149 @@
+"""Seeded open-loop arrival traces for load-testing both backends.
+
+The live cluster and the discrete-event simulator must see the *same*
+viewers arriving at the *same* instants asking for the *same* files —
+otherwise ``--compare-sim`` compares two different experiments.  This
+module is the single source of that truth: a pure function from
+``(parameters, seed)`` to a list of :class:`Arrival` rows, consumed by
+``ClusterScenario.stream_plan`` for the live backend and replayed
+verbatim by ``run_scenario_in_sim``.
+
+The trace shapes follow the time-shifted-TV measurement literature
+(see PAPERS.md): demand is a *long tail* over the old catalog — Zipf
+popularity, the same skew :mod:`repro.workloads.popularity` models —
+plus *live spikes*, bursts of viewers piling onto the newest content
+within seconds of each other.  Three generators cover the span:
+
+``stagger``
+    The legacy deterministic ramp: viewer ``i`` starts at
+    ``start + i * spacing`` and plays file ``i mod num_files``.
+    Zero randomness; kept as the default so existing scenarios,
+    baselines, and CI smoke runs are bit-identical.
+
+``zipf``
+    Open loop: arrival *instants* are a conditioned Poisson process on
+    ``[start, end)`` (uniform order statistics — exactly the arrival
+    times of a Poisson process given its count), file choice is Zipf
+    over popularity rank.  "Open loop" means arrivals do not wait for
+    admission: the generator never looks at system state, so offered
+    load is a property of the trace alone.
+
+``flash``
+    The live-spike shape: ``spike_fraction`` of the viewers arrive in
+    a tight exponential burst right after ``start`` aimed at rank-0
+    content (everyone tuning into the same live event), the remainder
+    is the ``zipf`` long tail.
+
+Determinism: one ``random.Random(seed)`` drives everything and draws
+are consumed in a fixed order, so a trace is reproducible across
+machines, Python processes, and backends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.workloads.popularity import ZipfSelector
+
+#: Trace shapes :func:`open_loop_trace` understands.
+ARRIVAL_MODES = ("stagger", "zipf", "flash")
+
+#: Default Zipf exponent; catalog measurements put video popularity
+#: between 0.6 and 1.0, we pick the middle of the band.
+DEFAULT_ZIPF_EXPONENT = 0.8
+
+#: Default share of viewers in the ``flash`` burst.
+DEFAULT_SPIKE_FRACTION = 0.5
+
+#: Mean seconds between ``start`` and a flash viewer's arrival.
+DEFAULT_SPIKE_SCALE_S = 1.0
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One viewer joining: who, what, and when."""
+
+    #: Seconds from epoch at which the viewer requests its stream.
+    time: float
+    #: Dense viewer index ``0..viewers-1`` (sorted by arrival time).
+    client_index: int
+    #: Zero-based catalog index (popularity rank for random modes).
+    file_index: int
+
+
+def open_loop_trace(
+    viewers: int,
+    num_files: int,
+    start: float,
+    end: float,
+    seed: int,
+    mode: str = "zipf",
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT,
+    spike_fraction: float = DEFAULT_SPIKE_FRACTION,
+    spike_scale_s: float = DEFAULT_SPIKE_SCALE_S,
+) -> List[Arrival]:
+    """Generate a seeded open-loop arrival trace.
+
+    :param viewers: Total arrivals in the trace.
+    :param num_files: Catalog size (file indices are ``0..num_files-1``).
+    :param start: Earliest arrival instant (seconds from epoch).
+    :param end: Exclusive upper bound for arrival instants.
+    :param seed: Everything random derives from this.
+    :param mode: One of :data:`ARRIVAL_MODES`.
+    :param zipf_exponent: Popularity skew for ``zipf``/``flash``.
+    :param spike_fraction: Share of viewers in the ``flash`` burst.
+    :param spike_scale_s: Mean burst offset past ``start`` (``flash``).
+    :returns: Arrivals sorted by time, ``client_index`` dense in that
+        order — ready to schedule on either backend's clock.
+    """
+    if viewers < 0:
+        raise ValueError("viewers must be non-negative")
+    if num_files < 1:
+        raise ValueError("need at least one file")
+    if end <= start:
+        raise ValueError("empty arrival window")
+    if mode not in ARRIVAL_MODES:
+        raise ValueError(
+            f"unknown arrival mode {mode!r}; pick one of {ARRIVAL_MODES}"
+        )
+    if not 0.0 <= spike_fraction <= 1.0:
+        raise ValueError("spike_fraction must be within [0, 1]")
+
+    if mode == "stagger":
+        spacing = (end - start) / max(1, viewers)
+        return [
+            Arrival(
+                time=start + index * spacing,
+                client_index=index,
+                file_index=index % num_files,
+            )
+            for index in range(viewers)
+        ]
+
+    rng = random.Random(seed)
+    selector = ZipfSelector(num_files, zipf_exponent, rng)
+    rows: List[tuple] = []  # (time, file_index) before indexing
+
+    burst = 0
+    if mode == "flash":
+        burst = int(round(viewers * spike_fraction))
+        for _ in range(burst):
+            # Exponential decay past the spike instant: everyone piles
+            # on within a few multiples of the scale, clamped into the
+            # window so the trace honors its own bounds.
+            offset = rng.expovariate(1.0 / spike_scale_s)
+            at = min(start + offset, end - 1e-9)
+            rows.append((at, 0))
+
+    for _ in range(viewers - burst):
+        # Uniform order statistics == Poisson arrival times given N.
+        at = start + rng.random() * (end - start)
+        rows.append((at, selector.draw()))
+
+    rows.sort(key=lambda row: row[0])
+    return [
+        Arrival(time=at, client_index=index, file_index=file_index)
+        for index, (at, file_index) in enumerate(rows)
+    ]

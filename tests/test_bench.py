@@ -53,6 +53,44 @@ class TestRunWorkload:
         assert lines and "kernel" in lines[0]
 
 
+class TestLiveTier:
+    @pytest.fixture(scope="class")
+    def live_result(self):
+        """Quick mode: the codec microbench only, no real cluster."""
+        return run_workload("live", seed=0, quick=True)
+
+    def test_result_shape(self, live_result):
+        assert live_result["name"] == "live"
+        assert live_result["mode"] == "quick"
+        counters = live_result["counters"]
+        assert set(counters) == {
+            "live.codec_messages",
+            "live.codec_bytes_json",
+            "live.codec_bytes_binary",
+        }
+        # The gated counters are pure functions of the seed.
+        again = run_workload("live", seed=0, quick=True)
+        assert again["counters"] == counters
+        assert live_result["perf"]["events_per_sec"] > 0
+
+    def test_binary_codec_beats_json(self, live_result):
+        json_row, binary_row = live_result["codecs"]
+        assert json_row["codec"] == "json"
+        assert binary_row["codec"] == "binary"
+        assert json_row["frames"] == binary_row["frames"]
+        assert binary_row["bytes"] < json_row["bytes"]
+        assert binary_row["speedup_vs_json"] > 1.0
+
+    def test_quick_mode_skips_the_real_cluster(self, live_result):
+        assert "cluster" not in live_result
+
+    def test_summary_lines_render(self, live_result):
+        lines = summary_lines(live_result)
+        text = "\n".join(lines)
+        assert "live" in lines[0]
+        assert "binary" in text
+
+
 class TestPersistence:
     def test_write_load_roundtrip(self, kernel_result, tmp_path):
         path = write_result(kernel_result, str(tmp_path))

@@ -7,14 +7,19 @@ takeover and zero invariant violations — the same contract the CI
 live-smoke job enforces through the CLI.
 """
 
+import asyncio
+
 import pytest
 
 from repro.config import small_config
 from repro.faults.live import LiveFaultError, LiveFaultInjector, kill_cub_plan
 from repro.faults.plan import FaultPlan
 from repro.live.cluster import (
+    SEND_HIGH_WATERMARK,
+    SEND_QUEUE_HARD_CAP,
     ClusterReport,
     ClusterScenario,
+    NodeConnection,
     compare_counters,
     relative_drift,
     run_cluster,
@@ -34,6 +39,14 @@ def test_scenario_validation():
         ClusterScenario(duration=0.5)
     with pytest.raises(ValueError, match="out of range"):
         ClusterScenario(cubs=4, kill_cub=4)
+    with pytest.raises(ValueError, match="codec"):
+        ClusterScenario(codec="gzip")
+    with pytest.raises(ValueError, match="arrival"):
+        ClusterScenario(arrivals="sawtooth")
+    with pytest.raises(ValueError, match="hubs"):
+        ClusterScenario(cubs=4, hubs=0)
+    with pytest.raises(ValueError, match="hubs"):
+        ClusterScenario(cubs=4, hubs=5)
 
 
 def test_scenario_namespaces_are_disjoint():
@@ -118,6 +131,34 @@ def test_merge_snapshots_sums_counters_and_keeps_last_gauge():
     assert skew == 0.1  # gauges: last snapshot wins
 
 
+def test_merge_counts_series_missing_from_some_snapshots():
+    # A node that never registered a family (or died before exporting
+    # it) must read as zero, not poison the sum — and the merge reports
+    # how many (family, series) contributions were absent.
+    node_a = {
+        "cub.blocks_sent": _family("counter", ({"cub": "cub:0"}, 10)),
+        "cub.mirror_covers": _family("counter", ({"cub": "cub:0"}, 2)),
+    }
+    node_b = {
+        "cub.blocks_sent": _family("counter", ({"cub": "cub:1"}, 5)),
+    }
+    merged = merge_snapshots([node_a, node_b])
+    assert snapshot_total(merged, "cub.blocks_sent") == 15
+    assert snapshot_total(merged, "cub.mirror_covers") == 2
+    # Both snapshots export blocks_sent but each lacks the other's
+    # series key: 2 holes.  mirror_covers counts none — node_b never
+    # exports the family, and absent families are not holes.
+    assert snapshot_total(merged, "merge.missing_series") == 2
+
+
+def test_merge_missing_series_is_zero_for_identical_shapes():
+    shape = {
+        "cub.blocks_sent": _family("counter", ({"cub": "cub:0"}, 1)),
+    }
+    merged = merge_snapshots([shape, shape])
+    assert snapshot_total(merged, "merge.missing_series") == 0
+
+
 def test_snapshot_total_filters_by_labels_and_skips_non_numeric():
     snap = {
         "x": _family(
@@ -130,6 +171,105 @@ def test_snapshot_total_filters_by_labels_and_skips_non_numeric():
     assert snapshot_total(snap, "x") == 7
     assert snapshot_total(snap, "x", node="a") == 3
     assert snapshot_total(snap, "missing") == 0.0
+
+
+# ----------------------------------------------------------------------
+# Arrival plans and hub sharding
+# ----------------------------------------------------------------------
+def test_stream_plan_random_modes_are_deterministic_and_sorted():
+    scenario = ClusterScenario(
+        cubs=4, streams=12, duration=20.0, arrivals="zipf", seed=3
+    )
+    plan = scenario.stream_plan()
+    assert plan == scenario.stream_plan()
+    assert plan != ClusterScenario(
+        cubs=4, streams=12, duration=20.0, arrivals="zipf", seed=4
+    ).stream_plan()
+    times = [at for _, _, at in plan]
+    assert times == sorted(times)
+    assert [index for index, _, _ in plan] == list(range(12))
+    # Starts stay inside [first_start, 75% of the run) so streams have
+    # the tail of the run to actually play.
+    assert all(1.0 <= at < 15.0 for at in times)
+
+
+def test_stream_plan_stagger_unchanged_by_new_fields():
+    legacy = ClusterScenario(cubs=4, streams=3)
+    assert legacy.stream_plan() == [
+        (0, 0, 1.0), (1, 1, 1.25), (2, 2, 1.5)
+    ]
+
+
+def test_hub_sharding_matches_sim_shard_pinning():
+    # The hub shard for a cub must be the same group the sharded
+    # simulator pins it to, so multi-hub topologies mirror sim/shard.py
+    # boundaries.
+    scenario = ClusterScenario(cubs=8, hubs=3)
+    assert [scenario.hub_of(cub) for cub in range(8)] == [
+        cub * 3 // 8 for cub in range(8)
+    ]
+    # Every shard is non-empty and boundaries are monotone.
+    shards = [scenario.hub_of(cub) for cub in range(8)]
+    assert shards == sorted(shards)
+    assert set(shards) == {0, 1, 2}
+    # Non-cub nodes all talk to the first listener.
+    assert scenario.hub_index_of("controller") == 0
+    assert scenario.hub_index_of("controller:backup") == 0
+    assert scenario.hub_index_of("cub:7") == 2
+
+
+def test_node_connection_backpressure_and_hard_cap():
+    class SlowWriter:
+        """Never completes a drain, so frames pool in the queue."""
+
+        def __init__(self):
+            self.closed = False
+
+        def write(self, _frame):
+            pass
+
+        async def drain(self):
+            await asyncio.Event().wait()  # park forever
+
+        def is_closing(self):
+            return self.closed
+
+        def close(self):
+            self.closed = True
+
+    class Counter:
+        def __init__(self):
+            self.value = 0
+
+        def increment(self, amount=1):
+            self.value += amount
+
+    async def scenario():
+        backpressure, dropped = Counter(), Counter()
+        connection = NodeConnection(
+            "cub:0", SlowWriter(), backpressure, dropped
+        )
+        frame = b"x" * 1024
+        # Fill to just under the high watermark: no backpressure yet.
+        for _ in range(SEND_HIGH_WATERMARK // len(frame) - 1):
+            assert connection.send(frame)
+        await asyncio.sleep(0)  # let the drainer park on drain()
+        assert backpressure.value == 0 and not connection.paused
+        # Crossing the watermark pauses once, not per frame.
+        assert connection.send(frame)
+        assert connection.send(frame)
+        assert backpressure.value == 1 and connection.paused
+        # Overflow the hard cap: frames drop and are counted.
+        huge = b"y" * (SEND_QUEUE_HARD_CAP)
+        assert not connection.send(huge)
+        assert dropped.value == 1
+        # A closed connection refuses everything quietly.
+        connection.close()
+        assert not connection.send(frame)
+        assert dropped.value == 1
+        await asyncio.sleep(0)
+
+    asyncio.run(scenario())
 
 
 # ----------------------------------------------------------------------

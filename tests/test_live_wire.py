@@ -15,16 +15,23 @@ import typing
 
 import pytest
 
-from repro.core.protocol import ViewerStateBatch
+from repro.core.protocol import BlockData, ViewerStateBatch, block_pattern
 from repro.core.viewerstate import MirrorViewerState, ViewerState
 from repro.live.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
     MAX_FRAME_BYTES,
     WIRE_VERSION,
+    WIRE_VERSION_BINARY,
     FrameDecoder,
     WireError,
+    WireStats,
+    binary_message_frame,
+    choose_codec,
     control_frame,
     decode_frames,
     decode_payload,
+    encode_message,
     encode_payload,
     message_frame,
     parse_frame,
@@ -32,6 +39,7 @@ from repro.live.wire import (
     registered_payload_types,
 )
 from repro.net.message import Message
+from repro.obs.registry import MetricsRegistry, snapshot_total
 
 REGISTRY = registered_payload_types()
 
@@ -229,3 +237,153 @@ def test_duplicate_tag_registration_rejected():
 def test_non_dataclass_registration_rejected():
     with pytest.raises(WireError, match="not a dataclass"):
         register_payload("bogus", int)
+
+
+# ----------------------------------------------------------------------
+# Binary codec (wire v2)
+# ----------------------------------------------------------------------
+def _binary_frame_of(payload, **envelope):
+    message = Message(
+        src=envelope.pop("src", "cub:0"),
+        dst=envelope.pop("dst", "cub:1"),
+        payload=payload,
+        size_bytes=envelope.pop("size_bytes", 64),
+        **envelope,
+    )
+    return message, binary_message_frame(message)
+
+
+@pytest.mark.parametrize("tag", sorted(REGISTRY))
+def test_binary_payload_round_trips(tag):
+    cls = REGISTRY[tag]
+    for seed in range(20):
+        rng = random.Random(f"bin-{tag}-{seed}")
+        message, frame = _binary_frame_of(
+            _instance_of(cls, rng),
+            src=f"cub:{rng.randrange(16)}",
+            dst="controller",
+            size_bytes=rng.randrange(1, 10**6),
+            kind=rng.choice(["control", "data"]),
+            msg_id=rng.randrange(0, 2**63),
+        )
+        (kind, decoded), = decode_frames(frame)
+        assert kind == "msg"
+        assert decoded == message
+
+
+def test_binary_round_trips_u64_fingerprints():
+    # Content fingerprints are full-width 64-bit hashes; values at or
+    # above 2**63 must survive (they overflow the signed i64 code).
+    block = BlockData(
+        viewer_id="client:0#1", instance=1, file_id=2, block_index=3,
+        play_seqno=4, pattern=block_pattern(2, 3),
+    )
+    assert block.pattern >= (1 << 63)  # the fixture must exercise u64
+    _, frame = _binary_frame_of(block, kind="data")
+    (_, decoded), = decode_frames(frame)
+    assert decoded.payload.pattern == block.pattern
+
+
+def test_binary_rejects_int_beyond_u64():
+    oversized = ViewerState("client:0#1", 1 << 64, 2, 3, 4, 5, 6.0, 7)
+    with pytest.raises(WireError, match="out of binary range"):
+        binary_message_frame(Message("cub:0", "cub:1", oversized, 64))
+
+
+def test_mixed_codec_stream_decodes():
+    # Frames are self-describing (first body byte), so one decoder
+    # accepts an interleaved json/binary stream — what a connection
+    # looks like around the codec_ack switchover.
+    rng = random.Random(11)
+    messages = [
+        Message("cub:0", "cub:1", _instance_of(REGISTRY["vstate"], rng), 100)
+        for _ in range(8)
+    ]
+    stream = b"".join(
+        encode_message(m, CODEC_BINARY if i % 2 else CODEC_JSON)
+        for i, m in enumerate(messages)
+    )
+    decoder = FrameDecoder()
+    decoded = decoder.feed_parsed(stream)
+    decoder.assert_drained()
+    assert [m for _, m in decoded] == messages
+
+
+def test_binary_bad_magic_rejected():
+    _, frame = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    mangled = frame[:4] + b"\xb3" + frame[5:]
+    with pytest.raises(WireError, match="undecodable frame body"):
+        FrameDecoder().feed_parsed(mangled)
+
+
+def test_binary_wrong_version_rejected():
+    _, frame = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    mangled = frame[:5] + bytes([WIRE_VERSION_BINARY + 1]) + frame[6:]
+    with pytest.raises(WireError, match="unsupported wire version"):
+        FrameDecoder().feed_parsed(mangled)
+
+
+def test_binary_unknown_frame_type_rejected():
+    _, frame = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    mangled = frame[:6] + b"\x7f" + frame[7:]
+    with pytest.raises(WireError, match="unknown binary frame type"):
+        FrameDecoder().feed_parsed(mangled)
+
+
+def test_binary_truncated_payload_rejected():
+    _, frame = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    body = frame[4:-3]  # drop payload bytes but keep the prefix honest
+    mangled = struct.pack(">I", len(body)) + body
+    with pytest.raises(WireError, match="truncated binary"):
+        FrameDecoder().feed_parsed(mangled)
+
+
+def test_binary_unknown_payload_id_rejected():
+    _, frame = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    body = bytearray(frame[4:])
+    obj_at = body.index(0x07)  # first _B_OBJ type code is the payload's
+    body[obj_at + 1] = 0xFE  # no registry id 254
+    mangled = struct.pack(">I", len(body)) + bytes(body)
+    with pytest.raises(WireError, match="unknown binary payload id"):
+        FrameDecoder().feed_parsed(mangled)
+
+
+def test_encode_message_rejects_unknown_codec():
+    message, _ = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    with pytest.raises(WireError, match="unknown codec"):
+        encode_message(message, "gzip")
+
+
+def test_choose_codec_prefers_preferred_then_first_mutual():
+    assert choose_codec(["json", "binary"], CODEC_BINARY) == CODEC_BINARY
+    assert choose_codec(["json"], CODEC_BINARY) == CODEC_JSON
+    assert choose_codec([], CODEC_BINARY) == CODEC_JSON
+    # Preferred codec the peer lacks: fall back to the best mutual one
+    # in SUPPORTED_CODECS preference order.
+    assert choose_codec(["gzip", "binary"], CODEC_JSON) == CODEC_BINARY
+    assert choose_codec(["gzip"], CODEC_BINARY) == CODEC_JSON
+
+
+def test_wire_stats_counts_frames_and_bytes_per_codec():
+    registry = MetricsRegistry()
+    stats = WireStats(registry, node="test")
+    message, _ = _binary_frame_of(ViewerState("c#1", 1, 2, 3, 4, 5, 6.0, 7))
+    json_frame = encode_message(message, CODEC_JSON, stats)
+    binary_frame = encode_message(message, CODEC_BINARY, stats)
+    decoder = FrameDecoder(stats=stats)
+    decoder.feed_parsed(json_frame + binary_frame)
+    snapshot = registry.snapshot()
+    for codec, direction, expected in (
+        (CODEC_JSON, "tx", len(json_frame)),
+        (CODEC_BINARY, "tx", len(binary_frame)),
+        (CODEC_JSON, "rx", len(json_frame)),
+        (CODEC_BINARY, "rx", len(binary_frame)),
+    ):
+        assert snapshot_total(
+            snapshot, "live.wire_frames",
+            codec=codec, direction=direction, node="test",
+        ) == 1
+        assert snapshot_total(
+            snapshot, "live.wire_bytes",
+            codec=codec, direction=direction, node="test",
+        ) == expected

@@ -1,0 +1,113 @@
+"""The open-loop arrival generator: determinism, shapes, validation.
+
+Both backends schedule from these traces, so the properties under test
+are exactly what ``--compare-sim`` leans on: the same ``(parameters,
+seed)`` must yield the identical trace everywhere, rows must come out
+time-sorted with dense client indices, and each mode must have its
+advertised shape (deterministic ramp, Zipf long tail, flash burst).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.arrivals import (
+    ARRIVAL_MODES,
+    DEFAULT_ZIPF_EXPONENT,
+    Arrival,
+    open_loop_trace,
+)
+from repro.workloads.popularity import ZipfSelector
+
+
+def trace(**overrides):
+    params = dict(
+        viewers=200, num_files=16, start=1.0, end=31.0, seed=7, mode="zipf"
+    )
+    params.update(overrides)
+    return open_loop_trace(**params)
+
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+def test_same_seed_same_trace(mode):
+    assert trace(mode=mode) == trace(mode=mode)
+
+
+@pytest.mark.parametrize("mode", ["zipf", "flash"])
+def test_different_seed_different_trace(mode):
+    assert trace(mode=mode, seed=1) != trace(mode=mode, seed=2)
+
+
+@pytest.mark.parametrize("mode", ARRIVAL_MODES)
+def test_rows_sorted_dense_and_bounded(mode):
+    rows = trace(mode=mode)
+    assert len(rows) == 200
+    assert [row.client_index for row in rows] == list(range(200))
+    times = [row.time for row in rows]
+    assert times == sorted(times)
+    assert all(1.0 <= row.time < 31.0 for row in rows)
+    assert all(0 <= row.file_index < 16 for row in rows)
+
+
+def test_stagger_matches_legacy_ramp():
+    # The default mode must stay bit-identical to the original
+    # deterministic plan: fixed spacing, round-robin files.
+    rows = trace(mode="stagger", viewers=10, num_files=4, start=2.0, end=12.0)
+    assert rows == [
+        Arrival(time=2.0 + index * 1.0, client_index=index,
+                file_index=index % 4)
+        for index in range(10)
+    ]
+
+
+def test_stagger_ignores_seed():
+    assert trace(mode="stagger", seed=1) == trace(mode="stagger", seed=2)
+
+
+def test_zipf_skews_toward_popular_ranks():
+    rows = trace(mode="zipf", viewers=2000, num_files=16)
+    counts = [0] * 16
+    for row in rows:
+        counts[row.file_index] += 1
+    # Rank 0 should see close to its theoretical share and clearly more
+    # than the tail rank.
+    expected = ZipfSelector(
+        16, DEFAULT_ZIPF_EXPONENT, random.Random(0)
+    ).probability(0)
+    assert math.isclose(counts[0] / 2000, expected, rel_tol=0.25)
+    assert counts[0] > 3 * counts[15]
+
+
+def test_flash_burst_piles_on_rank_zero_early():
+    rows = trace(mode="flash", viewers=400, num_files=16,
+                 start=5.0, end=65.0)
+    spike = [row for row in rows if row.file_index == 0]
+    # Half the viewers burst onto rank 0 (plus whatever the long tail
+    # adds), and the burst clusters within a few spike scales of start.
+    assert len(spike) >= 200
+    early = [row for row in spike if row.time < 5.0 + 5.0]
+    assert len(early) >= 200 * 0.9
+
+
+def test_flash_spike_fraction_zero_degenerates_to_zipf():
+    assert trace(mode="flash", spike_fraction=0.0) == trace(mode="zipf")
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        (dict(viewers=-1), "non-negative"),
+        (dict(num_files=0), "at least one file"),
+        (dict(end=1.0), "empty arrival window"),
+        (dict(mode="sawtooth"), "unknown arrival mode"),
+        (dict(mode="flash", spike_fraction=1.5), "within"),
+    ],
+)
+def test_bad_parameters_rejected(overrides, message):
+    with pytest.raises(ValueError, match=message):
+        trace(**overrides)
+
+
+def test_zero_viewers_yields_empty_trace():
+    assert trace(viewers=0) == []

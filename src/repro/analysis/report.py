@@ -112,6 +112,34 @@ PAPER_CLAIMS = {
         "wire frames, open-loop Zipf arrivals — and its counters must "
         "agree with the simulator's for the same seeded arrival trace.",
     ),
+    "hot_premiere": (
+        "Extension — hot-premiere offload (helper tier)",
+        "§2.2 motivates striping with skewed demand: a popular file's "
+        "load spreads over every disk, but each viewer still costs the "
+        "cub schedule one slot.  With an edge-cache helper tier in "
+        "front, repeat demand for the premiere is served from cache — "
+        "cub block services drop well below the no-helper baseline at "
+        "zero block loss, with no schedule slot claimed for any "
+        "cache-served viewer.",
+    ),
+    "flash_crowd": (
+        "Extension — flash-crowd offload (helper tier)",
+        "A flash crowd (near-simultaneous arrivals on one title) is the "
+        "worst case for slot-per-viewer scheduling.  The helper tier "
+        "must at least halve the cub schedule's block load (>= 2x "
+        "cub-block reduction) at zero loss; arrivals landing while the "
+        "first cache fill is still in flight join the in-flight warm "
+        "fill instead of stampeding the origin.",
+    ),
+    "helper_offload": (
+        "Extension — offload vs helper cache size",
+        "Offload as a function of per-helper cache capacity is concave "
+        "and saturating: capacity 0 is provably inert (bit-identical to "
+        "no helpers), small caches capture the hot head, and past the "
+        "hot set the curve flattens at the interval-caching bound — no "
+        "cache can offload more than the re-read fraction of the "
+        "trace.",
+    ),
     "chaos_soak": (
         "§4–§5 correctness under faults (chaos soak)",
         "The schedule protocol's claims — single ownership of every "
@@ -141,6 +169,9 @@ EXPERIMENT_ORDER = [
     "ablation_deadman",
     "mbr_bottleneck_crossover",
     "live_load",
+    "hot_premiere",
+    "flash_crowd",
+    "helper_offload",
     "chaos_soak",
 ]
 

@@ -416,7 +416,7 @@ _WORKLOAD_RUNNERS = {
 }
 
 #: Workload names in canonical execution order.
-WORKLOADS = ("kernel", "fig8", "chaos", "scale", "live")
+WORKLOADS = ("kernel", "fig8", "chaos", "scale", "live", "helpers")
 
 
 class BenchError(RuntimeError):
@@ -462,11 +462,14 @@ def run_workload(
     quick: bool = False,
     with_memory: bool = True,
     shards: int = 1,
+    helpers: Optional[int] = None,
+    helper_capacity: Optional[int] = None,
+    helper_policy: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one named workload and return its BENCH result dict.
 
-    :param name: ``kernel``, ``fig8``, ``chaos``, ``scale``, or
-        ``live``.
+    :param name: ``kernel``, ``fig8``, ``chaos``, ``scale``, ``live``,
+        or ``helpers``.
     :param seed: RNG seed for the run (stamped into the result).
     :param quick: Reduced-scale variant (CI smoke).
     :param with_memory: Skip the instrumented pass when False (faster;
@@ -486,6 +489,20 @@ def run_workload(
         from repro.bench.live import run_live_workload
 
         return run_live_workload(seed=seed, quick=quick)
+    if name == "helpers":
+        # Imported lazily: the edge tier drags in the helper subsystem.
+        from repro.bench.helpers import run_helpers_workload
+
+        overrides = {
+            key: value
+            for key, value in (
+                ("helpers", helpers),
+                ("helper_capacity", helper_capacity),
+                ("helper_policy", helper_policy),
+            )
+            if value is not None
+        }
+        return run_helpers_workload(seed=seed, quick=quick, **overrides)
     runner = _WORKLOAD_RUNNERS.get(name)
     if runner is None:
         raise BenchError(f"unknown workload {name!r} (have {WORKLOADS})")
@@ -711,6 +728,9 @@ def summary_lines(result: Dict[str, Any]) -> List[str]:
         if "speedup_vs_json" in row:
             line += f"  {row['speedup_vs_json']:.2f}x vs json"
         out.append(line)
+    for experiment in result.get("experiments", []):
+        for line in experiment.get("lines", []):
+            out.append(f"         {line}")
     cluster = result.get("cluster") or {}
     if cluster:
         out.append(
@@ -747,6 +767,9 @@ def run_bench(
     perf_tolerance: float = DEFAULT_PERF_TOLERANCE,
     echo: Callable[[str], None] = print,
     shards: int = 1,
+    helpers: Optional[int] = None,
+    helper_capacity: Optional[int] = None,
+    helper_policy: Optional[str] = None,
 ) -> int:
     """Run the bench matrix end to end; returns a process exit code.
 
@@ -764,7 +787,8 @@ def run_bench(
     for name in names:
         result = run_workload(
             name, seed=seed, quick=quick, with_memory=with_memory,
-            shards=shards,
+            shards=shards, helpers=helpers,
+            helper_capacity=helper_capacity, helper_policy=helper_policy,
         )
         path = write_result(result, out_dir)
         for line in summary_lines(result):

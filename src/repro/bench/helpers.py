@@ -1,0 +1,124 @@
+"""The ``helpers`` bench tier: edge-cache offload vs the no-helper baseline.
+
+Runs the two canned edge scenarios from
+:mod:`repro.helpers.scenarios` — the hot premiere and the flash
+crowd — each as a matched A/B pair on one seeded arrival trace: once
+without helpers, once with the helper tier enabled.  Both sides run on
+the discrete-event simulator, so every number in the gated
+``counters`` section is a pure function of ``(seed, mode)``:
+
+* per-scenario cub blocks with and without helpers, helper-served
+  blocks, cache fills, and client loss accounting;
+* the headline ``helpers.flash_cub_block_reduction_pct`` — the
+  flash-crowd cub-block reduction in percent (``>= 200`` is the
+  acceptance bar: the helper tier must at least halve the schedule
+  load a flash crowd puts on the cubs, at zero block loss).
+
+``perf`` carries the usual events/sec of the combined drive; like
+every tier it is tolerance-gated, while the counters compare exactly.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List
+
+from repro.helpers.scenarios import (
+    EDGE_SCENARIOS,
+    OffloadExperiment,
+    run_offload_experiment,
+)
+
+#: Helper-tier shape for the bench runs.
+BENCH_HELPERS = 2
+BENCH_HELPER_CAPACITY = 128
+BENCH_HELPER_POLICY = "lru"
+
+
+def _experiment_counters(experiment: OffloadExperiment) -> Dict[str, int]:
+    tag = experiment.name
+    helped, base = experiment.helped, experiment.baseline
+    return {
+        f"helpers.{tag}_streams": helped.streams,
+        f"helpers.{tag}_cub_blocks_baseline": base.cub_blocks,
+        f"helpers.{tag}_cub_blocks_helped": helped.cub_blocks,
+        f"helpers.{tag}_helper_blocks": helped.helper_blocks,
+        f"helpers.{tag}_helper_fetches": helped.helper_fetches,
+        f"helpers.{tag}_offload_pct": int(round(helped.offload_ratio * 100)),
+        f"helpers.{tag}_cub_block_reduction_pct": int(
+            round(experiment.cub_block_reduction * 100)
+        ),
+        f"helpers.{tag}_client_missed": (
+            helped.client_missed + base.client_missed
+        ),
+        f"helpers.{tag}_client_corrupt": (
+            helped.client_corrupt + base.client_corrupt
+        ),
+    }
+
+
+def run_helpers_workload(
+    seed: int = 0,
+    quick: bool = False,
+    helpers: int = BENCH_HELPERS,
+    helper_capacity: int = BENCH_HELPER_CAPACITY,
+    helper_policy: str = BENCH_HELPER_POLICY,
+) -> Dict[str, Any]:
+    """Run the ``helpers`` tier; returns a BENCH result dict.
+
+    The helper-tier shape is parameterizable (``repro bench --helpers
+    ...``), but committed baselines are only comparable at the
+    defaults — the gated counters are a function of the shape.
+    """
+    from repro.bench.harness import _base_result
+
+    experiments: List[OffloadExperiment] = []
+    events = 0
+    sim_seconds = 0.0
+    started = perf_counter()
+    for name in EDGE_SCENARIOS:
+        experiment = run_offload_experiment(
+            name,
+            seed=seed,
+            helpers=helpers,
+            helper_capacity=helper_capacity,
+            helper_policy=helper_policy,
+            quick=quick,
+        )
+        experiments.append(experiment)
+        events += experiment.baseline.events + experiment.helped.events
+        sim_seconds += (
+            experiment.baseline.sim_seconds + experiment.helped.sim_seconds
+        )
+    wall = perf_counter() - started
+
+    counters: Dict[str, int] = {}
+    for experiment in experiments:
+        counters.update(_experiment_counters(experiment))
+
+    result = _base_result(
+        "helpers",
+        "quick" if quick else "full",
+        seed,
+        {
+            "scenarios": list(EDGE_SCENARIOS),
+            "helpers": helpers,
+            "helper_capacity": helper_capacity,
+            "helper_policy": helper_policy,
+        },
+    )
+    result["counters"] = counters
+    result["perf"] = {
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "sim_seconds": round(sim_seconds, 6),
+        "sim_per_wall": round(sim_seconds / wall, 2) if wall > 0 else 0.0,
+    }
+    result["experiments"] = [
+        {"name": experiment.name, "lines": experiment.lines()}
+        for experiment in experiments
+    ]
+    result["handlers"] = []
+    result["memory"] = {}
+    return result

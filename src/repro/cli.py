@@ -94,11 +94,36 @@ def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
         seed=args.seed,
         tracer=tracer,
         shards=getattr(args, "shards", 1),
+        helpers=getattr(args, "helpers", 0),
+        helper_capacity=getattr(args, "helper_capacity", 0),
+        helper_policy=getattr(args, "helper_policy", "lru"),
     )
     system.add_standard_content(
         num_files=args.files, duration_s=args.file_seconds
     )
     return system
+
+
+def _bad_helpers(args) -> bool:
+    """Validate the helper-tier flags shared by several subcommands."""
+    from repro.helpers import CACHE_POLICIES
+
+    if args.helpers is not None and args.helpers < 0:
+        print("error: --helpers must be >= 0")
+        return True
+    if args.helper_capacity is not None and args.helper_capacity < 0:
+        print("error: --helper-capacity must be >= 0")
+        return True
+    if (
+        args.helper_policy is not None
+        and args.helper_policy not in CACHE_POLICIES
+    ):
+        print(
+            f"error: --helper-policy must be one of "
+            f"{', '.join(CACHE_POLICIES)}"
+        )
+        return True
+    return False
 
 
 def _bad_victim(args, config) -> bool:
@@ -113,6 +138,8 @@ def cmd_demo(args) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1")
         return 2
+    if _bad_helpers(args):
+        return 2
     tracer = _make_tracer(args)
     system = _build_system(args, tracer=tracer)
     workload = ContinuousWorkload(system)
@@ -126,6 +153,11 @@ def cmd_demo(args) -> int:
     print(f"delivered {system.total_client_received()} blocks, "
           f"missed {system.total_client_missed()}, "
           f"late {system.total_client_late()}")
+    if system.helpers:
+        print(f"helper tier: {len(system.helpers)} helper(s) served "
+              f"{system.total_helper_blocks_served()} blocks "
+              f"({system.origin_offload_ratio():.0%} offload, "
+              f"{system.total_helper_fetches_served()} cache fills)")
     latencies = workload.startup_latencies()
     if latencies:
         print(f"startup latency: min {min(latencies):.2f}s "
@@ -206,6 +238,8 @@ def cmd_chaos(args) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1")
         return 2
+    if _bad_helpers(args):
+        return 2
     if _bad_victim(args, config):
         return 2
     try:
@@ -231,6 +265,9 @@ def cmd_chaos(args) -> int:
         file_seconds=args.file_seconds,
         tracer=tracer,
         shards=args.shards,
+        helpers=args.helpers,
+        helper_capacity=args.helper_capacity,
+        helper_policy=args.helper_policy,
     )
     try:
         report = harness.run()
@@ -331,6 +368,8 @@ def cmd_bench(args) -> int:
     if args.shards < 1:
         print("error: --shards must be >= 1")
         return 2
+    if _bad_helpers(args):
+        return 2
     return run_bench(
         workloads=workloads,
         out_dir=args.out_dir,
@@ -340,6 +379,9 @@ def cmd_bench(args) -> int:
         baseline_dir=args.baseline,
         perf_tolerance=args.perf_tolerance,
         shards=args.shards,
+        helpers=args.helpers,
+        helper_capacity=args.helper_capacity,
+        helper_policy=args.helper_policy,
     )
 
 
@@ -385,6 +427,10 @@ def cmd_cluster(args) -> int:
             codec=args.codec,
             arrivals=args.arrivals,
             hubs=args.hubs,
+            helpers=args.helpers,
+            helper_capacity=args.helper_capacity,
+            helper_policy=args.helper_policy,
+            kill_helper=args.kill_helper,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -425,6 +471,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--files", type=int, default=8)
         sub.add_argument("--file-seconds", type=float, default=240.0)
 
+    def helper_tier(sub, default_helpers=0, default_capacity=0,
+                    default_policy="lru"):
+        sub.add_argument(
+            "--helpers", type=int, default=default_helpers, metavar="N",
+            help="edge helper cache nodes to run (0 disables the tier)")
+        sub.add_argument(
+            "--helper-capacity", type=int, default=default_capacity,
+            metavar="BLOCKS", dest="helper_capacity",
+            help="per-helper cache capacity in blocks (0 keeps booted "
+                 "helpers inert, for A/B runs on a fixed topology)")
+        sub.add_argument(
+            "--helper-policy", default=default_policy, metavar="NAME",
+            dest="helper_policy",
+            help="cache replacement policy: lru, segment, or interval")
+
     def observability(sub):
         sub.add_argument(
             "--trace", metavar="PATH", default=None,
@@ -443,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run on a partitioned kernel with this many "
                            "cub-group shard lanes (1 = single heap; "
                            "results are bit-identical either way)")
+    helper_tier(demo)
     demo.set_defaults(func=cmd_demo)
 
     failover = subparsers.add_parser("failover", help="reconfiguration drill")
@@ -469,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on a partitioned kernel with this many "
                             "cub-group shard lanes (1 = single heap; the "
                             "replay fingerprint is identical either way)")
+    helper_tier(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     trace = subparsers.add_parser(
@@ -500,7 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark matrix")
     bench.add_argument("--workloads", default=None, metavar="NAMES",
                        help="comma-separated subset of "
-                            "kernel,fig8,chaos,scale,live (default: all)")
+                            "kernel,fig8,chaos,scale,live,helpers "
+                            "(default: all)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json files")
     bench.add_argument("--seed", type=int, default=0)
@@ -521,6 +585,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-process partitioned kernel; scale: spawn "
                             "workers for the partitioned tiers (counters "
                             "are shard-invariant)")
+    # None defaults: the helpers tier keeps its committed-baseline
+    # shape unless explicitly overridden.
+    helper_tier(bench, default_helpers=None, default_capacity=None,
+                default_policy=None)
     bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
@@ -569,6 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--kill-at", type=float, default=None,
                          metavar="SECONDS",
                          help="when to kill it (default: 40%% of duration)")
+    helper_tier(cluster)
+    cluster.add_argument("--kill-helper", type=int, default=None,
+                         metavar="HELPER_ID",
+                         help="SIGKILL this helper mid-run (viewers must "
+                              "degrade to origin service)")
     cluster.add_argument("--deadman", type=float, default=3.0,
                          help="deadman timeout for the run (short "
                               "scenarios need a short deadman)")

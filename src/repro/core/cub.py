@@ -31,6 +31,8 @@ from repro.core.protocol import (
     CancelStart,
     DescheduleForward,
     Heartbeat,
+    HelperFetch,
+    HelperFetchReply,
     PlayEnded,
     StartCommitted,
     StartRequest,
@@ -251,6 +253,10 @@ class Cub(NetworkNode):
             "cub.deadman_resurrections",
             help="Believed-dead neighbours heard from again",
             unit="events", cub=cub_id)
+        self.helper_fetches_served = metric(
+            "cub.helper_fetches_served",
+            help="Off-schedule cache-fill blocks sent to helper nodes",
+            unit="blocks", cub=cub_id)
 
         self._started = False
 
@@ -336,8 +342,47 @@ class Cub(NetworkNode):
             self._on_start_request(payload)
         elif isinstance(payload, _CancelStart):
             self._on_cancel_start(payload)
+        elif isinstance(payload, HelperFetch):
+            self._on_helper_fetch(payload, message.src)
         else:
             raise TypeError(f"{self.name}: unexpected payload {type(payload).__name__}")
+
+    def _on_helper_fetch(self, fetch: HelperFetch, requester: str) -> None:
+        """Serve an off-schedule cache-fill read for a helper node.
+
+        Fills ride the cub's spare disk/NIC bandwidth, outside the
+        distributed schedule: the reply is paced like a normal block
+        but never enters the slot machinery or the per-disk read
+        queues, so a busy fill tier cannot cause a scheduled read to
+        miss its deadline.  Counted as ``cub.helper_fetches_served``,
+        deliberately *not* ``cub.blocks_sent``, so origin-offload
+        measurements compare real schedule load.
+        """
+        entry = self.catalog.get(fetch.file_id)
+        if not 0 <= fetch.block_index < entry.num_blocks:
+            return
+        disk_id = (entry.start_disk + fetch.block_index) % self.layout.num_disks
+        if self.layout.cub_of_disk(disk_id) != self.cub_id:
+            return  # the helper's layout view raced a restripe
+        disk = self.disks.get(disk_id)
+        if disk is None or disk.failed:
+            return  # dead drive: the helper retries and gives up
+        size = entry.content_bytes_per_block
+        self.network.send_paced(
+            Message(
+                self.address,
+                requester,
+                HelperFetchReply(
+                    fetch.file_id, fetch.block_index,
+                    block_pattern(fetch.file_id, fetch.block_index),
+                ),
+                size,
+                kind=KIND_DATA,
+            ),
+            pacing_duration=self.config.block_play_time,
+        )
+        self.cpu.add_busy(self.sim.now, size * self.config.cpu_per_data_byte)
+        self.helper_fetches_served.increment()
 
     # ==================================================================
     # Steady state: viewer-state propagation (§4.1.1)

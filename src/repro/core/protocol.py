@@ -179,3 +179,88 @@ class ReplicaUpdate:
     file_id: int = -1
     first_block: int = 0
     slot: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# Helper/cache edge tier (repro.helpers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HelperProbe:
+    """Viewer -> helper: can you serve this play from cache?
+
+    Sent *instead of* :class:`ClientStart` when the helper directory
+    names a helper for the file; the answer (hit or miss) decides
+    whether the stream ever touches the distributed schedule.
+    """
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int = 0
+
+
+@dataclass(frozen=True)
+class HelperHit:
+    """Helper -> viewer: cache hit — blocks will follow from me.
+
+    The schedule slot for this play is never claimed; the helper
+    streams :class:`BlockData` on the same pacing the cubs use.
+    """
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int
+
+
+@dataclass(frozen=True)
+class HelperMiss:
+    """Helper -> viewer: cache miss — go to the origin tier.
+
+    The helper starts warming the file in the background, so later
+    viewers of the same file hit.
+    """
+
+    viewer_id: str
+    instance: int
+    file_id: int
+    first_block: int
+
+
+@dataclass(frozen=True)
+class HelperFetch:
+    """Helper -> cub: read one block off-schedule for cache fill.
+
+    Served from the owning cub's spare disk/NIC bandwidth; counted as
+    ``cub.helper_fetches_served``, *not* ``cub.blocks_sent``, so the
+    origin-offload measurements compare real schedule load.
+    """
+
+    file_id: int
+    block_index: int
+
+
+@dataclass(frozen=True)
+class HelperFetchReply:
+    """Cub -> helper: the requested block (fingerprint stands in for
+    content, exactly as on the viewer data path)."""
+
+    file_id: int
+    block_index: int
+    pattern: int
+
+
+@dataclass(frozen=True)
+class HelperInvalidate:
+    """Driver/origin -> helper: purge every cached block of one file
+    (content replaced or restriped)."""
+
+    file_id: int
+
+
+@dataclass(frozen=True)
+class HelperCancel:
+    """Viewer -> helper: stop a cache-served play instance."""
+
+    viewer_id: str
+    instance: int

@@ -18,8 +18,12 @@ from repro.core.cub import Cub
 from repro.core.metrics import MetricsCollector
 from repro.core.schedule import GlobalSchedule
 from repro.core.slots import SlotClock
+from repro.core.protocol import HelperInvalidate
 from repro.core.viewerstate import reset_instance_ids
-from repro.net.message import reset_message_ids
+from repro.helpers.directory import HelperDirectory
+from repro.helpers.node import HelperNode
+from repro.net.message import REQUEST_BYTES, Message, reset_message_ids
+from repro.placement import group_pin
 from repro.net.switch import SwitchedNetwork
 from repro.obs.registry import MetricsRegistry
 from repro.sim.core import Simulator
@@ -45,10 +49,19 @@ class TigerSystem:
         registry: Optional[MetricsRegistry] = None,
         batched_service: bool = True,
         shards: int = 1,
+        helpers: int = 0,
+        helper_capacity: int = 0,
+        helper_policy: str = "lru",
     ) -> None:
         self.config = config
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if helpers < 0:
+            raise ValueError(f"helpers must be >= 0, got {helpers}")
+        if helper_capacity < 0:
+            raise ValueError(
+                f"helper_capacity must be >= 0, got {helper_capacity}"
+            )
         self.shards = shards
         if shards == 1:
             self.sim = Simulator()
@@ -122,7 +135,7 @@ class TigerSystem:
                 # forwarding (cub i -> i-1) on-shard except at the group
                 # boundary, which is exactly the thin slice the boundary
                 # channels are meant to carry.
-                self.sim.pin(cub.address, cub_id * shards // config.num_cubs)
+                self.sim.pin(cub.address, group_pin(cub_id, shards, config.num_cubs))
             self.cubs.append(cub)
 
         self.controller = Controller(
@@ -136,6 +149,33 @@ class TigerSystem:
             registry=self.registry,
         )
         self.network.register(self.controller, config.controller_nic_bps)
+
+        #: Optional edge-cache tier (see :mod:`repro.helpers`).  With
+        #: ``helpers == 0`` — or capacity 0, which leaves every node
+        #: inert and every client on the classic path — nothing below
+        #: sends a single message, so chaos fingerprints match the
+        #: no-helper baseline bit for bit.
+        self.helper_directory = HelperDirectory(helpers, helper_capacity)
+        self.helpers: List[HelperNode] = []
+        for helper_id in range(helpers):
+            helper = HelperNode(
+                sim=self.sim,
+                helper_id=helper_id,
+                config=config,
+                catalog=self.catalog,
+                layout=self.layout,
+                network=self.network,
+                capacity_blocks=helper_capacity,
+                policy=helper_policy,
+                tracer=self.tracer,
+                registry=self.registry,
+            )
+            self.network.register(helper, config.cub_nic_bps)
+            if shards > 1:
+                self.sim.pin(
+                    helper.address, group_pin(helper_id, shards, helpers)
+                )
+            self.helpers.append(helper)
 
         self.clients: List[ViewerClient] = []
         self.backup_controller = None
@@ -160,6 +200,10 @@ class TigerSystem:
             tracer=self.tracer,
             late_tolerance=late_tolerance,
             backup_controller=backup_address,
+            helper_directory=(
+                self.helper_directory if self.helpers else None
+            ),
+            registry=self.registry,
         )
         self.network.register(client, self.config.client_nic_bps)
         self.clients.append(client)
@@ -337,6 +381,15 @@ class TigerSystem:
                 gauge("sim.lane_events",
                       help="Events dispatched on one shard lane",
                       unit="events", lane=lane_index).set(lane_events)
+        if self.helpers:
+            gauge("helper.origin_offload_ratio",
+                  help="Fraction of viewer blocks served from helper "
+                       "caches instead of the cub schedule",
+                  unit="ratio").set(self.origin_offload_ratio())
+            gauge("helper.cached_blocks",
+                  help="Blocks currently resident across helper caches",
+                  unit="blocks").set(
+                      sum(len(h.policy) for h in self.helpers))
         for cub in self.cubs:
             gauge("cub.cpu_utilization",
                   help="Modelled CPU utilization since last reset",
@@ -392,14 +445,57 @@ class TigerSystem:
         cub = self.cubs[self.layout.cub_of_disk(disk_id)]
         cub.disks[disk_id].recover()
 
+    def fail_helper(self, helper_id: int) -> None:
+        """Kill an edge helper; its viewers degrade to origin service."""
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"helper {helper_id} failed",
+            target=f"helper:{helper_id}",
+        )
+        self.helpers[helper_id].fail()
+
+    def recover_helper(self, helper_id: int) -> None:
+        """Reboot a helper with a cold cache."""
+        self.tracer.emit(
+            self.sim.now, "fault.inject", f"helper {helper_id} recovered",
+            target=f"helper:{helper_id}",
+        )
+        self.helpers[helper_id].recover()
+
+    def invalidate_helpers(self, file_id: int) -> None:
+        """Purge one file from every helper cache (content replaced)."""
+        for helper in self.helpers:
+            self.network.send(
+                Message(
+                    self.controller.address,
+                    helper.address,
+                    HelperInvalidate(file_id),
+                    REQUEST_BYTES,
+                )
+            )
+
     def living_cubs(self) -> List[Cub]:
         return [cub for cub in self.cubs if not cub.failed]
+
+    def living_helpers(self) -> List[HelperNode]:
+        return [helper for helper in self.helpers if not helper.failed]
 
     # ------------------------------------------------------------------
     # Aggregate accounting
     # ------------------------------------------------------------------
     def total_blocks_sent(self) -> int:
         return sum(cub.blocks_sent.count for cub in self.cubs)
+
+    def total_helper_blocks_served(self) -> int:
+        return sum(helper.blocks_served.count for helper in self.helpers)
+
+    def total_helper_fetches_served(self) -> int:
+        return sum(cub.helper_fetches_served.count for cub in self.cubs)
+
+    def origin_offload_ratio(self) -> float:
+        """Fraction of viewer blocks that never touched the schedule."""
+        cached = self.total_helper_blocks_served()
+        total = cached + self.total_blocks_sent()
+        return cached / total if total else 0.0
 
     def total_mirror_pieces_sent(self) -> int:
         return sum(cub.mirror_pieces_sent.count for cub in self.cubs)

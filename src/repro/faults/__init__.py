@@ -21,6 +21,7 @@ from repro.faults.live import (
     LiveFaultError,
     LiveFaultInjector,
     kill_cub_plan,
+    kill_helper_plan,
 )
 from repro.faults.monitor import InvariantMonitor, InvariantViolation
 from repro.faults.plan import FaultPlan, FaultSpec
@@ -41,5 +42,6 @@ __all__ = [
     "ProcessFaultInjector",
     "install_plan",
     "kill_cub_plan",
+    "kill_helper_plan",
     "standard_chaos_plan",
 ]

@@ -85,12 +85,18 @@ class ChaosHarness:
         registry: Optional[MetricsRegistry] = None,
         profiler: Optional[object] = None,
         shards: int = 1,
+        helpers: int = 0,
+        helper_capacity: int = 0,
+        helper_policy: str = "lru",
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
         if duration <= 0:
             raise ValueError("duration must be positive")
         self.shards = shards
+        self.helpers = helpers
+        self.helper_capacity = helper_capacity
+        self.helper_policy = helper_policy
         self.config = config
         self.plan = plan
         self.seed = seed
@@ -116,6 +122,9 @@ class ChaosHarness:
             tracer=self.tracer,
             registry=self.registry,
             shards=self.shards,
+            helpers=self.helpers,
+            helper_capacity=self.helper_capacity,
+            helper_policy=self.helper_policy,
         )
         self.system = system
         self.registry = system.registry
@@ -180,6 +189,11 @@ class ChaosHarness:
             "messages_in_flight": system.network.messages_in_flight,
             "oracle_inserts": system.oracle.inserts,
             "oracle_removes": system.oracle.removes,
+            # Both zero whenever the helper tier is absent *or* inert
+            # (capacity 0), so a capacity-0 fingerprint is bit-identical
+            # to the no-helper baseline.
+            "helper_blocks_served": system.total_helper_blocks_served(),
+            "helper_fetches_served": system.total_helper_fetches_served(),
         }
 
     @classmethod

@@ -34,6 +34,8 @@ from repro.faults.plan import (
     DISK_RECOVER,
     DISK_SLOW,
     DISK_STUCK,
+    HELPER_CRASH,
+    HELPER_RESTART,
     NET_DELAY,
     NET_DROP,
     NET_DUPLICATE,
@@ -182,6 +184,12 @@ class ProcessFaultInjector:
                 sim.call_at(spec.start, self.system.fail_controller)
             elif spec.kind == CONTROLLER_RECOVER:
                 sim.call_at(spec.start, self.system.recover_controller)
+            elif spec.kind == HELPER_CRASH:
+                helper_id = parse_target(spec.target, "helper")
+                sim.call_at(spec.start, self.system.fail_helper, helper_id)
+            elif spec.kind == HELPER_RESTART:
+                helper_id = parse_target(spec.target, "helper")
+                sim.call_at(spec.start, self.system.recover_helper, helper_id)
 
 
 class _NetworkTopologyInjector:

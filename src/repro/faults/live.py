@@ -29,12 +29,13 @@ from repro.faults.plan import (
     CONTROLLER_KILL,
     CUB_CRASH,
     CUB_RESTART,
+    HELPER_CRASH,
     FaultPlan,
     parse_target,
 )
 
 #: FaultPlan kinds the live injector can execute today.
-LIVE_SUPPORTED_KINDS = frozenset({CUB_CRASH, CONTROLLER_KILL})
+LIVE_SUPPORTED_KINDS = frozenset({CUB_CRASH, CONTROLLER_KILL, HELPER_CRASH})
 
 
 class LiveFaultError(ValueError):
@@ -79,6 +80,9 @@ class LiveFaultInjector:
             if spec.kind == CUB_CRASH:
                 cub_id = parse_target(spec.target, "cub")
                 address = f"cub:{cub_id}"
+            elif spec.kind == HELPER_CRASH:
+                helper_id = parse_target(spec.target, "helper")
+                address = f"helper:{helper_id}"
             else:  # CONTROLLER_KILL
                 address = "controller"
             runtime.call_at(spec.start, self.cluster.kill_node, address)
@@ -93,6 +97,18 @@ def kill_cub_plan(cub_id: int, at: float) -> FaultPlan:
     """
     plan = FaultPlan(name=f"live-kill-cub-{cub_id}")
     plan.crash_cub(cub_id, at)
+    return plan
+
+
+def kill_helper_plan(helper_id: int, at: float) -> FaultPlan:
+    """SIGKILL one edge helper mid-run: its cache-served viewers must
+    degrade to origin service with zero invariant violations.
+
+    :param helper_id: Victim helper.
+    :param at: Runtime seconds (post-epoch) at which to kill it.
+    """
+    plan = FaultPlan(name=f"live-kill-helper-{helper_id}")
+    plan.crash_helper(helper_id, at)
     return plan
 
 

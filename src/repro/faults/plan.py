@@ -42,6 +42,8 @@ CUB_CRASH = "cub.crash"          # power-off (optionally with restart)
 CUB_RESTART = "cub.restart"
 CONTROLLER_KILL = "controller.kill"
 CONTROLLER_RECOVER = "controller.recover"
+HELPER_CRASH = "helper.crash"    # edge-cache node death (degrade to origin)
+HELPER_RESTART = "helper.restart"
 
 _WINDOW_KINDS = frozenset(
     {NET_DROP, NET_DELAY, NET_DUPLICATE, NET_REORDER, NET_PARTITION,
@@ -49,13 +51,15 @@ _WINDOW_KINDS = frozenset(
 )
 _POINT_KINDS = frozenset(
     {DISK_FAIL, DISK_RECOVER, CUB_CRASH, CUB_RESTART,
-     CONTROLLER_KILL, CONTROLLER_RECOVER}
+     CONTROLLER_KILL, CONTROLLER_RECOVER, HELPER_CRASH, HELPER_RESTART}
 )
 ALL_KINDS = _WINDOW_KINDS | _POINT_KINDS
 
 #: Fault classes whose effects linger after the fault itself clears:
 #: the invariant monitor widens its staleness grace until the system
-#: has had time to re-converge (see FaultPlan.settle_margin).
+#: has had time to re-converge (see FaultPlan.settle_margin).  Helper
+#: faults are deliberately absent: a helper owns no schedule state, so
+#: its death must not require any invariant grace at all.
 PROCESS_KINDS = frozenset(
     {CUB_CRASH, CUB_RESTART, CONTROLLER_KILL, CONTROLLER_RECOVER,
      DISK_FAIL, DISK_RECOVER}
@@ -263,6 +267,22 @@ class FaultPlan:
             )
         return self
 
+    def crash_helper(
+        self, helper_id: int, at: float, restart_after: Optional[float] = None
+    ) -> "FaultPlan":
+        """Kill an edge helper; its viewers fall back to the origin."""
+        self.events.append(
+            FaultSpec(HELPER_CRASH, at, target=f"helper:{helper_id}")
+        )
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError("restart_after must be positive")
+            self.events.append(
+                FaultSpec(HELPER_RESTART, at + restart_after,
+                          target=f"helper:{helper_id}")
+            )
+        return self
+
     def kill_controller(
         self, at: float, recover_after: Optional[float] = None
     ) -> "FaultPlan":
@@ -294,7 +314,9 @@ class FaultPlan:
     def process_events(self) -> List[FaultSpec]:
         return [
             e for e in self.events
-            if e.kind.startswith("cub.") or e.kind.startswith("controller.")
+            if e.kind.startswith("cub.")
+            or e.kind.startswith("controller.")
+            or e.kind.startswith("helper.")
         ]
 
     def describe(self) -> str:
@@ -323,7 +345,7 @@ def parse_target(target: Optional[str], expected: str) -> Any:
     kind, rest = target.split(":", 1)
     if kind != expected:
         raise ValueError(f"target {target!r} is not a {expected}")
-    if expected in ("cub", "disk"):
+    if expected in ("cub", "disk", "helper"):
         return int(rest)
     if expected == "link":
         src, _, dst = rest.partition("->")

@@ -1,0 +1,48 @@
+"""Edge helper/cache tier that offloads the cub origin tier.
+
+Tiger's cubs are the sole serving tier in the paper: every block of
+every viewer rides the distributed schedule, even when thousands of
+viewers replay the same hot movie.  This package adds the optional
+helper tier the ROADMAP names — plug-in cache nodes in the style of
+the P2P-VoD literature (adaptive plug-and-play helpers; the
+Viennot et al. offload-vs-cache-size bounds) that serve
+recently-streamed blocks ahead of the cubs:
+
+* :mod:`repro.helpers.policy` — pluggable cache replacement (LRU,
+  segment popularity, interval caching) with capacity accounting;
+* :mod:`repro.helpers.directory` — the deterministic file -> helper
+  map clients consult before touching the schedule;
+* :mod:`repro.helpers.node` — :class:`HelperNode`, written against the
+  Runtime/Transport contracts so the identical code runs on the DES
+  (including sharded mode) and the live asyncio backend;
+* :mod:`repro.helpers.scenarios` — hot-movie-premiere and flash-crowd
+  experiments measuring origin offload vs. the no-helper baseline.
+
+A helper is strictly an accelerator: it owns no schedule state, so a
+dead helper degrades to origin service (the client falls back to a
+normal start request at its current position) with zero invariant
+violations, and a helper tier at capacity 0 is completely inert —
+chaos fingerprints with capacity-0 helpers are bit-identical to the
+no-helper baseline.
+"""
+
+from repro.helpers.directory import HelperDirectory, helper_address
+from repro.helpers.node import HelperNode
+from repro.helpers.policy import (
+    CACHE_POLICIES,
+    IntervalCachePolicy,
+    LruPolicy,
+    SegmentPopularityPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CACHE_POLICIES",
+    "HelperDirectory",
+    "HelperNode",
+    "IntervalCachePolicy",
+    "LruPolicy",
+    "SegmentPopularityPolicy",
+    "helper_address",
+    "make_policy",
+]

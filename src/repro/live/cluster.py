@@ -66,13 +66,15 @@ from repro.config import TigerConfig
 from repro.core.client import ViewerClient
 from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
 from repro.core.protocol import BlockData
-from repro.faults.live import LiveFaultInjector, kill_cub_plan
+from repro.faults.live import LiveFaultInjector, kill_cub_plan, kill_helper_plan
+from repro.helpers import CACHE_POLICIES, HelperDirectory
 from repro.live.node import (
     DEFAULT_METRICS_INTERVAL,
     NodeWorld,
     ROLE_BACKUP,
     ROLE_CONTROLLER,
     ROLE_CUB,
+    ROLE_HELPER,
     config_to_dict,
 )
 from repro.live.runtime import LiveRuntime
@@ -88,6 +90,7 @@ from repro.live.wire import (
     encode_message,
 )
 from repro.net.message import Message, reset_message_ids
+from repro.placement import group_pin
 from repro.obs.registry import (
     MetricsRegistry,
     merge_snapshots,
@@ -153,6 +156,15 @@ class ClusterScenario:
     #: Listener sockets to shard node connections across — one per
     #: cub group, same boundaries as ``sim/shard.py``.
     hubs: int = 1
+    #: Edge helper processes to boot (0 disables the cache tier).
+    helpers: int = 0
+    #: Per-helper cache capacity in blocks; 0 keeps helpers inert even
+    #: when booted, for A/B runs on a fixed topology.
+    helper_capacity: int = 0
+    #: Cache replacement policy for every helper.
+    helper_policy: str = "lru"
+    #: Helper id to SIGKILL mid-run; None keeps all helpers alive.
+    kill_helper: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cubs < 3:
@@ -161,6 +173,21 @@ class ClusterScenario:
             raise ValueError("duration too short for any stream to start")
         if self.kill_cub is not None and not 0 <= self.kill_cub < self.cubs:
             raise ValueError(f"kill target cub:{self.kill_cub} out of range")
+        if self.helpers < 0:
+            raise ValueError("helpers must be >= 0")
+        if self.helper_capacity < 0:
+            raise ValueError("helper capacity must be >= 0")
+        if self.helper_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown helper policy {self.helper_policy!r}; pick one "
+                f"of {CACHE_POLICIES}"
+            )
+        if self.kill_helper is not None and not (
+            0 <= self.kill_helper < self.helpers
+        ):
+            raise ValueError(
+                f"kill target helper:{self.kill_helper} out of range"
+            )
         if self.codec not in SUPPORTED_CODECS:
             raise ValueError(
                 f"unknown codec {self.codec!r}; pick one of "
@@ -236,22 +263,30 @@ class ClusterScenario:
             return None
         return self.kill_at if self.kill_at is not None else self.duration * 0.4
 
+    def helper_kill_time(self) -> Optional[float]:
+        """When to SIGKILL the victim helper (half-way by default, so
+        the cache has demonstrably served before its viewers degrade)."""
+        if self.kill_helper is None:
+            return None
+        return self.kill_at if self.kill_at is not None else self.duration * 0.5
+
     def node_addresses(self) -> List[str]:
         out = [f"cub:{cub_id}" for cub_id in range(self.cubs)]
         out.append("controller")
         if self.backup:
             out.append(BACKUP_CONTROLLER_ADDRESS)
+        out.extend(f"helper:{hid}" for hid in range(self.helpers))
         return out
 
     def hub_of(self, cub_id: int) -> int:
         """Which hub listener a cub connects to.
 
         Same group-boundary formula ``sim/shard.py`` uses to partition
-        cubs across shard lanes, so a live multi-hub topology shards
-        connections along the exact lines the partitioned simulator
-        partitions events.
+        cubs across shard lanes (see :func:`repro.placement.group_pin`),
+        so a live multi-hub topology shards connections along the exact
+        lines the partitioned simulator partitions events.
         """
-        return cub_id * self.hubs // self.cubs
+        return group_pin(cub_id, self.hubs, self.cubs)
 
     def hub_index_of(self, address: str) -> int:
         """Hub listener for any node address (non-cubs ride hub 0)."""
@@ -261,14 +296,16 @@ class ClusterScenario:
 
     def namespace_of(self, address: str) -> int:
         """Disjoint message-id namespaces: cub i -> i+1, controller ->
-        N+1, backup -> N+2, the driver itself -> N+3 (0 stays free so a
-        forgotten reset is recognizable)."""
+        N+1, backup -> N+2, the driver itself -> N+3, helper j ->
+        N+4+j (0 stays free so a forgotten reset is recognizable)."""
         if address.startswith("cub:"):
             return int(address.split(":", 1)[1]) + 1
         if address == "controller":
             return self.cubs + 1
         if address == BACKUP_CONTROLLER_ADDRESS:
             return self.cubs + 2
+        if address.startswith("helper:"):
+            return self.cubs + 4 + int(address.split(":", 1)[1])
         raise ValueError(f"no namespace for address {address!r}")
 
     @property
@@ -586,7 +623,10 @@ class ClusterReport:
         rows.append((
             "clients received data", received > 0, f"{received:g} blocks"
         ))
-        if self.kills:
+        cub_kills = [
+            kill for kill in self.kills if kill[1].startswith("cub:")
+        ]
+        if cub_kills:
             pieces = snapshot_total(merged, "cub.mirror_pieces_sent")
             rows.append((
                 "mirror takeover after kill",
@@ -616,6 +656,12 @@ class ClusterReport:
             f"({self.wall_seconds:.1f}s wall), codec {scenario.codec}, "
             f"arrivals {scenario.arrivals}, {scenario.hubs} hub(s)"
         )
+        if scenario.helpers:
+            lines.append(
+                f"  helper tier: {scenario.helpers} helper(s), "
+                f"{scenario.helper_capacity} blocks each, "
+                f"policy {scenario.helper_policy}"
+            )
         for when, address in self.kills:
             lines.append(f"  fault: SIGKILL {address} at t={when:g}s")
         lines.append(f"  node logs and specs: {self.workdir}")
@@ -634,6 +680,15 @@ class ClusterReport:
             "live.wire_frames",
             "live.hub_backpressure_events",
             "live.hub_sendq_dropped",
+        ) + (
+            (
+                "helper.hits",
+                "helper.misses",
+                "helper.blocks_served",
+                "helper.origin_offload_ratio",
+            )
+            if scenario.helpers
+            else ()
         ):
             lines.append(
                 f"  {name:<34} {snapshot_total(self.merged, name):>12g}"
@@ -704,6 +759,8 @@ def _write_node_spec(
     """Write one node's boot spec; ``port`` is its hub listener."""
     if address.startswith("cub:"):
         role, node_id = ROLE_CUB, int(address.split(":", 1)[1])
+    elif address.startswith("helper:"):
+        role, node_id = ROLE_HELPER, int(address.split(":", 1)[1])
     elif address == "controller":
         role, node_id = ROLE_CONTROLLER, 0
     else:
@@ -724,6 +781,9 @@ def _write_node_spec(
         "metrics_interval": scenario.metrics_interval,
         "backup_enabled": scenario.backup,
     }
+    if role == ROLE_HELPER:
+        spec["helper_capacity"] = scenario.helper_capacity
+        spec["helper_policy"] = scenario.helper_policy
     path = workdir / f"{address.replace(':', '-')}.json"
     path.write_text(json.dumps(spec, indent=2), encoding="utf-8")
     return path
@@ -832,6 +892,11 @@ async def _run_cluster_async(
 
         return deliver
 
+    helper_directory = (
+        HelperDirectory(scenario.helpers, scenario.helper_capacity)
+        if scenario.helpers
+        else None
+    )
     clients: List[ViewerClient] = []
     for client_index in range(scenario.streams):
         client = ViewerClient(
@@ -843,6 +908,8 @@ async def _run_cluster_async(
             backup_controller=(
                 BACKUP_CONTROLLER_ADDRESS if scenario.backup else None
             ),
+            helper_directory=helper_directory,
+            registry=registry,
         )
         hub.local[client.address] = _observed_deliver(client)
         clients.append(client)
@@ -868,6 +935,14 @@ async def _run_cluster_async(
         plan = kill_cub_plan(scenario.kill_cub, kill_at)
         LiveFaultInjector(cluster, plan).install()
         echo(f"armed fault: SIGKILL cub:{scenario.kill_cub} at t={kill_at:g}s")
+    helper_kill_at = scenario.helper_kill_time()
+    if helper_kill_at is not None:
+        plan = kill_helper_plan(scenario.kill_helper, helper_kill_at)
+        LiveFaultInjector(cluster, plan).install()
+        echo(
+            f"armed fault: SIGKILL helper:{scenario.kill_helper} "
+            f"at t={helper_kill_at:g}s"
+        )
 
     echo(
         f"epoch fixed; driving {scenario.streams} streams for "
@@ -908,6 +983,18 @@ async def _run_cluster_async(
         help="p99 of live.block_lateness across the whole run",
         unit="seconds",
     ).set(lateness.quantile(0.99) if lateness.n else 0.0)
+    if scenario.helpers:
+        # Offload ratio across the whole run, from the nodes' final
+        # snapshots: cache-served blocks over all whole blocks served.
+        node_merged = merge_snapshots(list(hub.node_metrics.values()))
+        cached = snapshot_total(node_merged, "helper.blocks_served")
+        origin = snapshot_total(node_merged, "cub.blocks_sent")
+        registry.gauge(
+            "helper.origin_offload_ratio",
+            help="Fraction of whole-block services the helper tier "
+                 "absorbed instead of the cub schedule",
+            unit="ratio",
+        ).set(cached / (cached + origin) if cached + origin else 0.0)
 
     killed = {address for _, address in cluster.kills}
     unexpected = [
@@ -943,7 +1030,13 @@ def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
     """
     from repro.core.tiger import TigerSystem
 
-    system = TigerSystem(scenario.config(), seed=scenario.seed)
+    system = TigerSystem(
+        scenario.config(),
+        seed=scenario.seed,
+        helpers=scenario.helpers,
+        helper_capacity=scenario.helper_capacity,
+        helper_policy=scenario.helper_policy,
+    )
     files = system.add_standard_content(
         num_files=scenario.num_files, duration_s=scenario.file_duration_s
     )
@@ -969,6 +1062,11 @@ def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
     kill_at = scenario.kill_time()
     if kill_at is not None:
         system.sim.call_at(kill_at, system.cubs[scenario.kill_cub].fail)
+    helper_kill_at = scenario.helper_kill_time()
+    if helper_kill_at is not None:
+        system.sim.call_at(
+            helper_kill_at, system.fail_helper, scenario.kill_helper
+        )
 
     system.run_until(scenario.duration)
     system.export_metrics()

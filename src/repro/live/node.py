@@ -44,6 +44,7 @@ from repro.core.cub import Cub
 from repro.core.failover import BACKUP_CONTROLLER_ADDRESS, BackupController
 from repro.core.slots import SlotClock
 from repro.faults.live import CubInvariantProbe
+from repro.helpers.node import HelperNode
 from repro.live.runtime import LiveRuntime
 from repro.live.transport import NodeTransport
 from repro.live.wire import (
@@ -65,6 +66,7 @@ from repro.storage.mirror import MirrorScheme
 ROLE_CUB = "cub"
 ROLE_CONTROLLER = "controller"
 ROLE_BACKUP = "backup"
+ROLE_HELPER = "helper"
 
 #: Default cadence of ``_metrics`` frames back to the hub.
 DEFAULT_METRICS_INTERVAL = 2.0
@@ -178,6 +180,20 @@ def build_component(
         if spec.get("backup_enabled"):
             controller.attach_backup(BACKUP_CONTROLLER_ADDRESS)
         return controller, None
+    if role == ROLE_HELPER:
+        helper = HelperNode(
+            sim=runtime,
+            helper_id=int(spec["node_id"]),
+            config=config,
+            catalog=world.catalog,
+            layout=world.layout,
+            network=transport,
+            capacity_blocks=int(spec.get("helper_capacity", 0)),
+            policy=str(spec.get("helper_policy", "lru")),
+            tracer=tracer,
+            registry=registry,
+        )
+        return helper, None
     if role == ROLE_BACKUP:
         backup = BackupController(
             sim=runtime,

@@ -53,6 +53,13 @@ from repro.core.protocol import (
     ClientStop,
     DescheduleForward,
     Heartbeat,
+    HelperCancel,
+    HelperFetch,
+    HelperFetchReply,
+    HelperHit,
+    HelperInvalidate,
+    HelperMiss,
+    HelperProbe,
     PlayEnded,
     ReplicaUpdate,
     StartAck,
@@ -202,6 +209,14 @@ for _tag, _cls in (
     ("client_stop", ClientStop),
     ("start_ack", StartAck),
     ("replica_update", ReplicaUpdate),
+    # Helper/cache edge tier (appended — ids are positional).
+    ("helper_probe", HelperProbe),
+    ("helper_hit", HelperHit),
+    ("helper_miss", HelperMiss),
+    ("helper_fetch", HelperFetch),
+    ("helper_fetch_reply", HelperFetchReply),
+    ("helper_invalidate", HelperInvalidate),
+    ("helper_cancel", HelperCancel),
 ):
     register_payload(_tag, _cls)
 

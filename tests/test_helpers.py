@@ -1,0 +1,307 @@
+"""The helper/edge-cache tier: policies, directory, offload, fail-soft.
+
+Covers the tier bottom-up: cache-policy eviction arithmetic, the
+deterministic file->helper directory, DES integration (cache hits skip
+the slot schedule entirely), the warm-join path that absorbs flash
+crowds, fail-soft degradation when a helper dies mid-stream, and the
+bit-identity guarantee — a capacity-0 helper tier leaves the chaos
+fingerprint untouched.
+"""
+
+import pytest
+
+from repro import TigerSystem, small_config
+from repro.faults import ChaosHarness, FaultPlan, standard_chaos_plan
+from repro.helpers import CACHE_POLICIES, HelperDirectory, make_policy
+from repro.helpers.directory import helper_address
+from repro.helpers.policy import (
+    IntervalCachePolicy,
+    LruPolicy,
+    SegmentPopularityPolicy,
+)
+from repro.helpers.scenarios import (
+    EDGE_SCENARIOS,
+    capacity_sweep,
+    run_edge_scenario,
+    run_offload_experiment,
+)
+from repro.placement import group_pin
+
+
+class TestCachePolicies:
+    def test_capacity_accounting_never_exceeded(self):
+        policy = LruPolicy(4)
+        for block in range(10):
+            policy.insert((0, block))
+            assert len(policy) <= 4
+        assert len(policy) == 4
+
+    def test_lru_evicts_least_recently_touched(self):
+        policy = LruPolicy(3)
+        for block in range(3):
+            policy.insert((0, block))
+        policy.touch((0, 0))  # block 1 is now the coldest
+        evicted = policy.insert((0, 3))
+        assert evicted == [(0, 1)]
+        assert (0, 0) in policy and (0, 3) in policy
+
+    def test_capacity_zero_admits_nothing(self):
+        for name in CACHE_POLICIES:
+            policy = make_policy(name, 0)
+            assert policy.insert((1, 2)) == [(1, 2)]
+            assert len(policy) == 0
+            assert not policy.touch((1, 2))
+
+    def test_invalidate_file_drops_only_that_file(self):
+        policy = LruPolicy(8)
+        for block in range(3):
+            policy.insert((5, block))
+        policy.insert((6, 0))
+        assert policy.invalidate_file(5) == 3
+        assert len(policy) == 1 and (6, 0) in policy
+        assert policy.invalidate_file(5) == 0
+
+    def test_segment_policy_protects_popular_segment(self):
+        policy = SegmentPopularityPolicy(4, segment_blocks=2)
+        # File 0's head segment gets three accesses; every other
+        # resident segment only one.
+        policy.insert((0, 0))
+        policy.insert((0, 1))
+        policy.touch((0, 0))
+        policy.insert((1, 0))
+        policy.insert((1, 2))
+        evicted = policy.insert((2, 0))
+        # Ties among the popularity-1 segments break by recency: the
+        # oldest cold-segment block goes, the hot segment survives.
+        assert evicted == [(1, 0)]
+        assert (0, 0) in policy and (0, 1) in policy
+
+    def test_interval_policy_protects_read_ahead_window(self):
+        policy = IntervalCachePolicy(3, window=4)
+        for block in range(3):
+            policy.insert((0, block))
+        # A play point at block 1 protects blocks 1..4; block 0 is
+        # behind every play point and must be the victim.
+        policy.set_play_points([(0, 1)])
+        policy.touch((0, 1))
+        policy.touch((0, 2))
+        evicted = policy.insert((0, 5))
+        assert evicted == [(0, 0)]
+
+    def test_eviction_order_is_deterministic(self):
+        def drive(policy):
+            order = []
+            for block in range(12):
+                order.extend(policy.insert((block % 3, block)))
+                policy.touch((0, 0))
+            return order
+
+        for name in CACHE_POLICIES:
+            assert drive(make_policy(name, 4)) == drive(make_policy(name, 4))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("arc", 16)
+        with pytest.raises(ValueError):
+            LruPolicy(-1)
+
+
+class TestHelperDirectory:
+    def test_inert_when_no_helpers_or_no_capacity(self):
+        assert not HelperDirectory(0, 128).active
+        assert not HelperDirectory(2, 0).active
+        assert HelperDirectory(0, 128).helper_for(0, 8) is None
+        assert HelperDirectory(2, 0).helper_for(0, 8) is None
+
+    def test_mapping_is_total_and_contiguous(self):
+        directory = HelperDirectory(3, 64)
+        ids = [directory.helper_id_for(f, 9) for f in range(9)]
+        assert ids == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        assert directory.helper_for(4, 9) == helper_address(1)
+
+    def test_more_helpers_than_files_collapses(self):
+        directory = HelperDirectory(8, 64)
+        ids = {directory.helper_id_for(f, 3) for f in range(3)}
+        # Only the first min(helpers, files) helpers are ever used.
+        assert ids == {0, 1, 2}
+
+    def test_group_pin_matches_legacy_formulas(self):
+        # The shared helper replaced two inline formulas: the shard
+        # lane pin and the hub listener pin, both `i * groups // total`.
+        for total in (1, 3, 4, 7, 16):
+            for groups in (1, 2, 3, total):
+                for item in range(total):
+                    assert group_pin(item, groups, total) == (
+                        item * groups // total
+                    )
+
+    def test_group_pin_clamps_out_of_range(self):
+        assert group_pin(-5, 2, 4) == 0
+        assert group_pin(99, 2, 4) == 1
+        with pytest.raises(ValueError):
+            group_pin(0, 0, 4)
+
+
+def _staggered_system(helpers=1, capacity=64, policy="lru", seed=11):
+    """Three viewers on one file, spaced past the cache warm time."""
+    system = TigerSystem(
+        small_config(), seed=seed,
+        helpers=helpers, helper_capacity=capacity, helper_policy=policy,
+    )
+    files = system.add_standard_content(num_files=2, duration_s=12.0)
+    clients = [system.add_client() for _ in range(3)]
+    for index, start in enumerate((1.0, 16.0, 18.0)):
+        system.sim.call_at(
+            start, clients[index].start_stream, files[0].file_id
+        )
+    return system, clients, files[0].file_id
+
+
+class TestDesIntegration:
+    def test_cache_hits_skip_the_slot_schedule(self):
+        system, _, _ = _staggered_system()
+        system.run_until(40.0)
+        system.finalize_clients()
+        system.assert_invariants()
+        # Viewer 1 misses (cold cache) and claims a slot; the warm fill
+        # completes before viewers 2 and 3 arrive, so they are served
+        # from cache and the global schedule never sees them.
+        assert system.total_helper_blocks_served() > 0
+        assert system.oracle.inserts == 1
+        assert system.origin_offload_ratio() > 0.4
+        assert system.total_client_missed() == 0
+        assert system.total_client_corrupt() == 0
+
+    def test_all_policies_serve_identically_sized_demand(self):
+        for policy in CACHE_POLICIES:
+            system, _, _ = _staggered_system(policy=policy)
+            system.run_until(40.0)
+            system.finalize_clients()
+            system.assert_invariants()
+            assert system.total_helper_blocks_served() > 0, policy
+            assert system.total_client_missed() == 0, policy
+
+    def test_capacity_zero_emits_no_helper_traffic(self):
+        system, _, _ = _staggered_system(capacity=0)
+        system.run_until(40.0)
+        system.finalize_clients()
+        system.assert_invariants()
+        assert system.total_helper_blocks_served() == 0
+        assert system.total_helper_fetches_served() == 0
+        assert system.oracle.inserts == 3  # everyone took the origin path
+
+    def test_warm_join_absorbs_near_simultaneous_arrivals(self):
+        # A flash burst: all three probes land while the first warm
+        # fill is still in flight.  Warm-join turns them into hits —
+        # only the very first origin stream claims a slot.
+        system = TigerSystem(
+            small_config(), seed=13, helpers=1, helper_capacity=64,
+        )
+        files = system.add_standard_content(num_files=2, duration_s=12.0)
+        clients = [system.add_client() for _ in range(4)]
+        system.sim.call_at(1.0, clients[0].start_stream, files[0].file_id)
+        for index, offset in enumerate((1.2, 1.5, 1.8), start=1):
+            system.sim.call_at(
+                offset, clients[index].start_stream, files[0].file_id
+            )
+        system.run_until(45.0)
+        system.finalize_clients()
+        system.assert_invariants()
+        assert system.oracle.inserts == 1
+        assert system.total_helper_blocks_served() > 0
+        assert system.total_client_missed() == 0
+        assert system.total_client_corrupt() == 0
+
+    def test_helper_death_degrades_to_origin(self):
+        system, clients, _ = _staggered_system()
+        # Kill the helper while viewers 2/3 are being cache-served.
+        system.sim.call_at(20.0, system.fail_helper, 0)
+        system.run_until(60.0)
+        system.finalize_clients()
+        system.assert_invariants()
+        fallbacks = sum(
+            client.helper_fallbacks.count
+            for client in clients
+            if client.helper_fallbacks is not None
+        )
+        assert fallbacks > 0
+        # Fail-soft: every block still arrives, via the origin tier.
+        assert system.total_client_missed() == 0
+        assert system.total_client_corrupt() == 0
+
+    def test_invalidate_purges_and_recounts(self):
+        system, _, file_id = _staggered_system()
+        system.run_until(14.0)  # warm fill done, before viewer 2
+        cached = sum(len(helper.policy) for helper in system.helpers)
+        assert cached > 0
+        system.invalidate_helpers(file_id)
+        system.run_until(15.0)  # the invalidate travels as a message
+        assert sum(len(helper.policy) for helper in system.helpers) == 0
+        assert sum(h.invalidations.count for h in system.helpers) == cached
+
+
+class TestFingerprintIdentity:
+    def _fingerprint(self, **kwargs):
+        harness = ChaosHarness(
+            small_config(),
+            standard_chaos_plan(duration=25.0),
+            seed=5,
+            load=0.5,
+            duration=25.0,
+            num_files=4,
+            file_seconds=40.0,
+            **kwargs,
+        )
+        return harness.run().fingerprint
+
+    def test_capacity_zero_tier_is_bit_identical_to_no_helpers(self):
+        baseline = self._fingerprint()
+        inert = self._fingerprint(helpers=2, helper_capacity=0)
+        assert baseline == inert
+
+    def test_same_seed_helper_runs_are_bit_identical(self):
+        first = self._fingerprint(helpers=2, helper_capacity=64)
+        second = self._fingerprint(helpers=2, helper_capacity=64)
+        assert first == second
+
+    def test_helper_crash_plan_completes_clean(self):
+        plan = FaultPlan()
+        plan.crash_helper(0, at=10.0, restart_after=8.0)
+        harness = ChaosHarness(
+            small_config(), plan, seed=5, load=0.4, duration=30.0,
+            num_files=4, file_seconds=40.0,
+            helpers=2, helper_capacity=64,
+        )
+        report = harness.run()  # construction implies zero violations
+        assert report.checks_run > 0 and report.fingerprint
+
+
+class TestOffloadScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_edge_scenario("cold_tuesday")
+
+    def test_flash_crowd_meets_the_offload_bar(self):
+        # The acceptance bar: the helper tier at least halves the cub
+        # schedule's block load under a flash crowd, at zero loss.
+        experiment = run_offload_experiment("flash_crowd", quick=True)
+        assert experiment.cub_block_reduction >= 2.0
+        assert experiment.helped.lossless and experiment.baseline.lossless
+        assert experiment.helped.offload_ratio > 0.5
+
+    def test_hot_premiere_offloads(self):
+        experiment = run_offload_experiment("hot_premiere", quick=True)
+        assert experiment.cub_block_reduction > 1.5
+        assert experiment.helped.lossless and experiment.baseline.lossless
+
+    def test_capacity_sweep_is_monotone_and_saturating(self):
+        rows = capacity_sweep(
+            capacities=(0, 16, 128), quick=True
+        )
+        ratios = [result.offload_ratio for _, result in rows]
+        assert ratios[0] == 0.0
+        assert ratios == sorted(ratios)  # concave => monotone here
+        assert ratios[-1] > 0.5
+
+    def test_scenario_names_stable(self):
+        assert EDGE_SCENARIOS == ("hot_premiere", "flash_crowd")

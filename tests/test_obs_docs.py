@@ -48,6 +48,13 @@ ALL_CATEGORIES = {
     "failover",
     "failover.relay",
     "fault.inject",
+    "helper.evict",
+    "helper.fallback",
+    "helper.fill",
+    "helper.hit",
+    "helper.invalidate",
+    "helper.miss",
+    "helper.serve",
     "insert",
     "invariant.violation",
     "mirror.cover",

@@ -36,6 +36,28 @@ class TestZipfSelector:
         expected0 = selector.probability(0)
         assert counts[0] / 4000 == pytest.approx(expected0, abs=0.04)
 
+    def test_catalog_of_one_always_draws_zero(self, rngs):
+        selector = ZipfSelector(1, 1.3, rngs.stream("z"))
+        assert selector.probability(0) == pytest.approx(1.0)
+        assert all(selector.draw() == 0 for _ in range(100))
+
+    def test_exponent_zero_draws_uniformly(self, rngs):
+        selector = ZipfSelector(5, 0.0, rngs.stream("z"))
+        counts = [0] * 5
+        for _ in range(5000):
+            counts[selector.draw()] += 1
+        for count in counts:
+            assert count / 5000 == pytest.approx(0.2, abs=0.03)
+
+    def test_same_seed_same_draw_sequence(self):
+        import random
+
+        first = ZipfSelector(8, 1.1, random.Random(99))
+        second = ZipfSelector(8, 1.1, random.Random(99))
+        assert [first.draw() for _ in range(200)] == [
+            second.draw() for _ in range(200)
+        ]
+
     def test_invalid_parameters(self, rngs):
         with pytest.raises(ValueError):
             ZipfSelector(0, 1.0, rngs.stream("z"))

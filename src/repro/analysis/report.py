@@ -140,6 +140,18 @@ PAPER_CLAIMS = {
         "cache can offload more than the re-read fraction of the "
         "trace.",
     ),
+    "placement_policies": (
+        "Extension — pluggable slot-placement policies (fig-10 tail)",
+        "Fig-10 attributes the startup-latency tail near capacity to "
+        "waiting for a free slot under first-fit claiming.  With slot "
+        "placement behind one policy contract, first-fit stays "
+        "bit-identical to the legacy behavior; deadline-greedy keeps "
+        "first-fit's slot choice but serves the oldest outstanding "
+        "request first, which repairs the priority inversions a "
+        "controller failover's retry-against-the-backup path creates "
+        "and lowers the startup p99 at 95% load under VCR churn; "
+        "load-spread trades median latency for spread-out free slots.",
+    ),
     "chaos_soak": (
         "§4–§5 correctness under faults (chaos soak)",
         "The schedule protocol's claims — single ownership of every "
@@ -172,6 +184,7 @@ EXPERIMENT_ORDER = [
     "hot_premiere",
     "flash_crowd",
     "helper_offload",
+    "placement_policies",
     "chaos_soak",
 ]
 

@@ -36,7 +36,7 @@ import json
 import os
 import platform
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter, process_time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -155,18 +155,33 @@ def _timed_system_run(
 # ----------------------------------------------------------------------
 # Workload definitions
 # ----------------------------------------------------------------------
-def _kernel_build(seed: int, sim_seconds: float, shards: int = 1):
+def _bench_config(base: TigerConfig, placement: Optional[str]) -> TigerConfig:
+    """Apply the --placement override; None keeps the baseline config."""
+    if placement is None or placement == base.placement:
+        return base
+    return replace(base, placement=placement)
+
+
+def _kernel_build(
+    seed: int, sim_seconds: float, shards: int = 1,
+    placement: Optional[str] = None,
+):
     def build() -> Tuple[TigerSystem, float]:
-        system = TigerSystem(paper_config(), seed=seed, shards=shards)
+        config = _bench_config(paper_config(), placement)
+        system = TigerSystem(config, seed=seed, shards=shards)
         system.add_standard_content(num_files=8, duration_s=240.0)
         return system, sim_seconds
 
     return build
 
 
-def _fig8_build(seed: int, sim_seconds: float, shards: int = 1):
+def _fig8_build(
+    seed: int, sim_seconds: float, shards: int = 1,
+    placement: Optional[str] = None,
+):
     def build() -> Tuple[TigerSystem, float]:
-        system = TigerSystem(paper_config(), seed=seed, shards=shards)
+        config = _bench_config(paper_config(), placement)
+        system = TigerSystem(config, seed=seed, shards=shards)
         system.add_standard_content(num_files=8, duration_s=240.0)
         workload = ContinuousWorkload(system)
         workload.add_streams(system.config.num_slots)
@@ -176,11 +191,12 @@ def _fig8_build(seed: int, sim_seconds: float, shards: int = 1):
 
 
 def _run_kernel(
-    seed: int, quick: bool, profiler=None, shards: int = 1
+    seed: int, quick: bool, profiler=None, shards: int = 1,
+    placement: Optional[str] = None,
 ) -> Tuple[RunOutcome, Dict]:
     sim_seconds = 30.0 if quick else 120.0
     outcome = _timed_system_run(
-        _kernel_build(seed, sim_seconds, shards), profiler
+        _kernel_build(seed, sim_seconds, shards, placement), profiler
     )
     params = {
         "config": "paper",
@@ -192,11 +208,12 @@ def _run_kernel(
 
 
 def _run_fig8(
-    seed: int, quick: bool, profiler=None, shards: int = 1
+    seed: int, quick: bool, profiler=None, shards: int = 1,
+    placement: Optional[str] = None,
 ) -> Tuple[RunOutcome, Dict]:
     sim_seconds = 10.0 if quick else 30.0
     outcome = _timed_system_run(
-        _fig8_build(seed, sim_seconds, shards), profiler
+        _fig8_build(seed, sim_seconds, shards, placement), profiler
     )
     params = {
         "config": "paper",
@@ -208,7 +225,8 @@ def _run_fig8(
 
 
 def _run_chaos(
-    seed: int, quick: bool, profiler=None, shards: int = 1
+    seed: int, quick: bool, profiler=None, shards: int = 1,
+    placement: Optional[str] = None,
 ) -> Tuple[RunOutcome, Dict]:
     # Imported lazily so a plain kernel bench never touches the faults
     # machinery.
@@ -217,7 +235,7 @@ def _run_chaos(
     duration = 45.0 if quick else 90.0
     plan = standard_chaos_plan(duration=duration)
     harness = ChaosHarness(
-        small_config(),
+        _bench_config(small_config(), placement),
         plan,
         seed=seed,
         load=0.5,
@@ -416,7 +434,9 @@ _WORKLOAD_RUNNERS = {
 }
 
 #: Workload names in canonical execution order.
-WORKLOADS = ("kernel", "fig8", "chaos", "scale", "live", "helpers")
+WORKLOADS = (
+    "kernel", "fig8", "chaos", "scale", "live", "helpers", "placement"
+)
 
 
 class BenchError(RuntimeError):
@@ -435,14 +455,18 @@ def _base_result(name: str, mode: str, seed: int, params: Dict) -> Dict[str, Any
 
 
 def _instrumented(
-    run, seed: int, quick: bool, shards: int = 1
+    run, seed: int, quick: bool, shards: int = 1,
+    placement: Optional[str] = None,
 ) -> Tuple[List[Dict], Dict, Dict]:
     """Second pass: profiler + tracemalloc.  Returns (handlers, memory,
     counters) — counters are cross-checked against the clean pass."""
     profiler = EventLoopProfiler()
     tracemalloc.start()
     try:
-        outcome, _ = run(seed, quick, profiler=profiler, shards=shards)
+        outcome, _ = run(
+            seed, quick, profiler=profiler, shards=shards,
+            placement=placement,
+        )
         current, peak = tracemalloc.get_traced_memory()
         stats = tracemalloc.take_snapshot().statistics("filename")
     finally:
@@ -465,11 +489,12 @@ def run_workload(
     helpers: Optional[int] = None,
     helper_capacity: Optional[int] = None,
     helper_policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one named workload and return its BENCH result dict.
 
     :param name: ``kernel``, ``fig8``, ``chaos``, ``scale``, ``live``,
-        or ``helpers``.
+        ``helpers``, or ``placement``.
     :param seed: RNG seed for the run (stamped into the result).
     :param quick: Reduced-scale variant (CI smoke).
     :param with_memory: Skip the instrumented pass when False (faster;
@@ -479,6 +504,11 @@ def run_workload(
         (1 = the classic single heap); for ``scale`` it is the spawn
         worker count driving the partitioned tiers.  Protocol counters
         are shard-invariant — the baseline gate holds for any value.
+    :param placement: Slot-placement policy override for the
+        ``kernel``/``fig8``/``chaos`` tiers (None keeps each tier's
+        baseline config; the ``placement`` tier always compares all
+        policies).  Non-default policies change the gated counters, so
+        committed baselines only apply at the default.
     """
     if shards < 1:
         raise BenchError(f"shards must be >= 1, got {shards}")
@@ -489,6 +519,11 @@ def run_workload(
         from repro.bench.live import run_live_workload
 
         return run_live_workload(seed=seed, quick=quick)
+    if name == "placement":
+        # Imported lazily: the policy tier drags in the workload stack.
+        from repro.bench.placement import run_placement_workload
+
+        return run_placement_workload(seed=seed, quick=quick)
     if name == "helpers":
         # Imported lazily: the edge tier drags in the helper subsystem.
         from repro.bench.helpers import run_helpers_workload
@@ -506,13 +541,13 @@ def run_workload(
     runner = _WORKLOAD_RUNNERS.get(name)
     if runner is None:
         raise BenchError(f"unknown workload {name!r} (have {WORKLOADS})")
-    clean, params = runner(seed, quick, shards=shards)
+    clean, params = runner(seed, quick, shards=shards, placement=placement)
     result = _base_result(name, "quick" if quick else "full", seed, params)
     result["perf"] = clean.perf_dict()
     result["counters"] = clean.counters
     if with_memory:
         handlers, memory, counters = _instrumented(
-            runner, seed, quick, shards=shards
+            runner, seed, quick, shards=shards, placement=placement
         )
         if counters != clean.counters:
             raise BenchError(
@@ -770,6 +805,7 @@ def run_bench(
     helpers: Optional[int] = None,
     helper_capacity: Optional[int] = None,
     helper_policy: Optional[str] = None,
+    placement: Optional[str] = None,
 ) -> int:
     """Run the bench matrix end to end; returns a process exit code.
 
@@ -789,6 +825,7 @@ def run_bench(
             name, seed=seed, quick=quick, with_memory=with_memory,
             shards=shards, helpers=helpers,
             helper_capacity=helper_capacity, helper_policy=helper_policy,
+            placement=placement,
         )
         path = write_result(result, out_dir)
         for line in summary_lines(result):

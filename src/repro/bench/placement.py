@@ -1,0 +1,273 @@
+"""The ``placement`` bench tier: slot-placement policy comparison.
+
+Runs the same 95%-load VCR-churn scenario — with a mid-run controller
+failover, which is when client retries against the backup land
+requests in retry-phase order rather than request-age order — once per
+placement policy (``first-fit``, ``deadline-greedy``,
+``load-spread``) on one seeded trace, and reports per-policy startup
+latency (p50/p99/max, *including* censored still-waiting starts) and
+block loss.
+
+The scenario is built so the policy comparison is causal, not
+coincidental:
+
+* FF and DG are bit-identical until the controller dies (chronological
+  wait queues make oldest-first equal FIFO), so every divergent sample
+  traces back to the failover.
+* Three dead-window waves are issued at offsets whose retry phases
+  land at the backup in *inverted* age order (+1.9 lands at +7.9,
+  +3.0 at +7.0, +4.1 at +6.1 for a 6 s takeover and 2 s ack timeout).
+* The contested drain stops only long-running pre-failure viewers, so
+  the freed-slot sequence — and hence the set of service instants — is
+  the same under every policy; the disciplines differ only in which
+  queued viewer gets each instant.
+
+Everything runs on the discrete-event simulator, so every gated
+counter is a pure function of ``(seed, mode)``; the headline
+``placement.dg_beats_ff`` asserts the fig-10 claim — deadline-greedy
+must improve startup-latency p99 or block loss over first-fit under
+churn with a controller failover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from time import perf_counter
+from typing import Any, Dict, List
+
+from repro.config import PLACEMENT_POLICIES, small_config
+from repro.core.tiger import TigerSystem
+from repro.obs.registry import snapshot_total
+from repro.sim.rng import RngRegistry
+
+
+@dataclasses.dataclass
+class PolicyOutcome:
+    """One policy's run through the shared failover-churn scenario."""
+
+    policy: str
+    streams: int
+    censored: int
+    p50_ms: int
+    p99_ms: int
+    max_ms: int
+    loss_blocks: int
+    deferrals: int
+    events: int
+    sim_seconds: float
+
+    def line(self) -> str:
+        return (
+            f"{self.policy:<16s} p50 {self.p50_ms / 1000.0:6.2f}s  "
+            f"p99 {self.p99_ms / 1000.0:6.2f}s  "
+            f"max {self.max_ms / 1000.0:6.2f}s  "
+            f"loss {self.loss_blocks:>4d}  "
+            f"pending {self.censored:>2d}  "
+            f"deferrals {self.deferrals:>3d}  "
+            f"({self.streams} starts)"
+        )
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def run_policy_scenario(
+    policy: str, seed: int = 0, quick: bool = False
+) -> PolicyOutcome:
+    """Drive one policy through the 95%-load churn + failover trace.
+
+    The churn RNG stream is keyed by seed only, so every policy sees
+    the byte-identical operation sequence; outcomes differ only through
+    the placement decisions themselves.
+    """
+    config = dataclasses.replace(small_config(), placement=policy)
+    system = TigerSystem(config, seed=seed)
+    system.add_standard_content(num_files=5, duration_s=120.0)
+    system.enable_controller_backup()
+    client = system.add_client()
+    rng = RngRegistry(seed).stream("placement-churn")
+
+    # Fill to 95% of the slot ring, then let the ramp settle.
+    target = max(1, int(round(config.num_slots * 0.95)))
+    active = [client.start_stream(index % 5) for index in range(target)]
+    paused: List[int] = []
+
+    def churn(steps: int, starts: bool = True) -> None:
+        for _ in range(steps):
+            roll = rng.random()
+            if (
+                roll < 0.35
+                and starts
+                and len(active) + len(paused) < target
+            ):
+                active.append(client.start_stream(rng.randrange(5)))
+            elif roll < 0.55 and active:
+                victim = active.pop(rng.randrange(len(active)))
+                if client.pause_stream(victim) is not None:
+                    paused.append(victim)
+            elif roll < 0.8 and paused:
+                resumed = client.resume_stream(
+                    paused.pop(rng.randrange(len(paused)))
+                )
+                if resumed is not None:
+                    active.append(resumed)
+            elif active:
+                client.stop_stream(active.pop(rng.randrange(len(active))))
+            system.run_for(rng.uniform(0.3, 1.2))
+
+    system.run_for(4.0 if quick else 8.0)
+    churn(6 if quick else 8)
+    # Top the ring back up so *placed* occupancy is back at 95% and
+    # the wait queues are empty: the dead-window waves must contest a
+    # full schedule identically on every seed.
+    while len(active) < target:
+        active.append(client.start_stream(rng.randrange(5)))
+    system.run_for(4.0 if quick else 8.0)
+
+    prefail = list(active)
+    system.fail_controller()
+    # Dead-window waves whose retry phases land at the backup in
+    # inverted age order (see the module docstring).  Cycling a small
+    # file set lands every wave in the same wait queues: cross-wave
+    # queue-mates are what the two disciplines order differently.
+    waves = (
+        ((1.9, 2), (3.0, 2), (4.1, 3))
+        if quick
+        else ((1.9, 3), (3.0, 3), (4.1, 4))
+    )
+    elapsed = 0.0
+    for offset, count in waves:
+        system.run_for(offset - elapsed)
+        elapsed = offset
+        for index in range(count):
+            active.append(client.start_stream(index % 3))
+    system.run_for(8.2 - elapsed)
+    # VCR departures while the landed waves contest the full ring:
+    # each stop frees a slot at a spread instant and the queued
+    # viewers claim them in policy order.  Only long-running
+    # (pre-failure) viewers depart, so the freed-slot sequence is the
+    # same under every policy and the comparison isolates the queue
+    # discipline itself.
+    for _ in range(6 if quick else 8):
+        if prefail:
+            victim = prefail.pop(rng.randrange(len(prefail)))
+            active.remove(victim)
+            client.stop_stream(victim)
+        system.run_for(rng.uniform(0.4, 1.0))
+    # A full ring rotation serves every queued wave viewer from the
+    # freed slots before ordinary churn resumes, so the recorded tail
+    # reflects the queue discipline, not later churn interactions.
+    system.run_for(8.5)
+    system.recover_controller()
+    # Post-recovery VCR churn without new admissions: fresh starts at
+    # 95% occupancy have chaotic multi-second waits either way (no
+    # systematic policy difference), so admitting them here would only
+    # add variance to the tail the experiment is measuring.
+    churn(6 if quick else 10, starts=False)
+    system.run_for(8.0 if quick else 15.0)
+    system.finalize_clients()
+    system.assert_invariants()
+
+    now = system.sim.now
+    latencies_s: List[float] = []
+    censored = 0
+    loss = 0
+    for monitor in client.all_monitors():
+        loss += monitor.blocks_missed
+        latency = monitor.startup_latency
+        if latency is None:
+            if monitor.stopped:
+                continue  # withdrawn before service; no wait to charge
+            latency = max(0.0, now - monitor.request_time)
+            censored += 1
+        latencies_s.append(latency)
+
+    snapshot = system.export_metrics().snapshot()
+    deferrals = int(snapshot_total(snapshot, "placement.deferrals"))
+
+    return PolicyOutcome(
+        policy=policy,
+        streams=len(latencies_s),
+        censored=censored,
+        p50_ms=int(round(_percentile(latencies_s, 0.50) * 1000)),
+        p99_ms=int(round(_percentile(latencies_s, 0.99) * 1000)),
+        max_ms=int(round(max(latencies_s) * 1000)),
+        loss_blocks=int(loss),
+        deferrals=deferrals,
+        events=system.sim.events_dispatched,
+        sim_seconds=now,
+    )
+
+
+def run_placement_workload(
+    seed: int = 0, quick: bool = False
+) -> Dict[str, Any]:
+    """Run the ``placement`` tier; returns a BENCH result dict."""
+    from repro.bench.harness import _base_result
+
+    outcomes: List[PolicyOutcome] = []
+    events = 0
+    sim_seconds = 0.0
+    started = perf_counter()
+    for policy in PLACEMENT_POLICIES:
+        outcome = run_policy_scenario(policy, seed=seed, quick=quick)
+        outcomes.append(outcome)
+        events += outcome.events
+        sim_seconds += outcome.sim_seconds
+    wall = perf_counter() - started
+
+    by_name = {outcome.policy: outcome for outcome in outcomes}
+    first_fit = by_name["first-fit"]
+    deadline = by_name["deadline-greedy"]
+    dg_beats_ff = int(
+        deadline.p99_ms < first_fit.p99_ms
+        or deadline.loss_blocks < first_fit.loss_blocks
+    )
+
+    counters: Dict[str, int] = {}
+    for outcome in outcomes:
+        tag = outcome.policy.replace("-", "_")
+        counters[f"placement.{tag}_streams"] = outcome.streams
+        counters[f"placement.{tag}_pending"] = outcome.censored
+        counters[f"placement.{tag}_p50_ms"] = outcome.p50_ms
+        counters[f"placement.{tag}_p99_ms"] = outcome.p99_ms
+        counters[f"placement.{tag}_max_ms"] = outcome.max_ms
+        counters[f"placement.{tag}_loss_blocks"] = outcome.loss_blocks
+        counters[f"placement.{tag}_deferrals"] = outcome.deferrals
+    counters["placement.dg_beats_ff"] = dg_beats_ff
+
+    result = _base_result(
+        "placement",
+        "quick" if quick else "full",
+        seed,
+        {
+            "policies": list(PLACEMENT_POLICIES),
+            "load": 0.95,
+            "churn": "vcr+controller-failover",
+        },
+    )
+    result["counters"] = counters
+    result["perf"] = {
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "sim_seconds": round(sim_seconds, 6),
+        "sim_per_wall": round(sim_seconds / wall, 2) if wall > 0 else 0.0,
+    }
+    result["experiments"] = [
+        {
+            "name": "policy-comparison",
+            "lines": [outcome.line() for outcome in outcomes]
+            + [
+                "deadline-greedy improves p99 or loss vs first-fit: "
+                + ("yes" if dg_beats_ff else "NO")
+            ],
+        }
+    ]
+    result["handlers"] = []
+    result["memory"] = {}
+    return result

@@ -45,6 +45,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 from typing import List, Optional
 
@@ -87,8 +88,17 @@ def _export_metrics(path: str, system: TigerSystem) -> None:
     print(f"wrote {len(registry.names())} metric families to {path}")
 
 
-def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
+def _cli_config(args) -> TigerConfig:
+    """Base config for a subcommand, with CLI overrides applied."""
     config = paper_config() if args.paper else small_config()
+    placement = getattr(args, "placement", None)
+    if placement is not None and placement != config.placement:
+        config = dataclasses.replace(config, placement=placement)
+    return config
+
+
+def _build_system(args, tracer: Optional[Tracer] = None) -> TigerSystem:
+    config = _cli_config(args)
     system = TigerSystem(
         config,
         seed=args.seed,
@@ -231,7 +241,7 @@ def cmd_capacity(args) -> int:
 def cmd_chaos(args) -> int:
     from repro.faults import ChaosHarness, InvariantViolation, standard_chaos_plan
 
-    config = paper_config() if args.paper else small_config()
+    config = _cli_config(args)
     if args.seconds <= 0:
         print("error: --seconds must be positive")
         return 2
@@ -382,6 +392,7 @@ def cmd_bench(args) -> int:
         helpers=args.helpers,
         helper_capacity=args.helper_capacity,
         helper_policy=args.helper_policy,
+        placement=args.placement,
     )
 
 
@@ -431,6 +442,8 @@ def cmd_cluster(args) -> int:
             helper_capacity=args.helper_capacity,
             helper_policy=args.helper_policy,
             kill_helper=args.kill_helper,
+            placement=args.placement,
+            churn=args.churn,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -495,6 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", metavar="PATH", default=None,
             help="write the metrics registry snapshot as JSON")
 
+    def placement_flag(sub):
+        from repro.config import PLACEMENT_POLICIES
+
+        sub.add_argument(
+            "--placement", choices=PLACEMENT_POLICIES,
+            default="first-fit", metavar="POLICY",
+            help="slot-placement policy: "
+                 f"{', '.join(PLACEMENT_POLICIES)} "
+                 "(first-fit is the legacy behavior)")
+
     demo = subparsers.add_parser("demo", help="run and inspect a system")
     common(demo)
     observability(demo)
@@ -505,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "cub-group shard lanes (1 = single heap; "
                            "results are bit-identical either way)")
     helper_tier(demo)
+    placement_flag(demo)
     demo.set_defaults(func=cmd_demo)
 
     failover = subparsers.add_parser("failover", help="reconfiguration drill")
@@ -532,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "cub-group shard lanes (1 = single heap; the "
                             "replay fingerprint is identical either way)")
     helper_tier(chaos)
+    placement_flag(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     trace = subparsers.add_parser(
@@ -563,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark matrix")
     bench.add_argument("--workloads", default=None, metavar="NAMES",
                        help="comma-separated subset of "
-                            "kernel,fig8,chaos,scale,live,helpers "
+                            "kernel,fig8,chaos,scale,live,helpers,placement "
                             "(default: all)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json files")
@@ -589,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     # shape unless explicitly overridden.
     helper_tier(bench, default_helpers=None, default_capacity=None,
                 default_policy=None)
+    placement_flag(bench)
     bench.set_defaults(func=cmd_bench)
 
     report = subparsers.add_parser("report", help="rebuild EXPERIMENTS.md")
@@ -638,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="when to kill it (default: 40%% of duration)")
     helper_tier(cluster)
+    placement_flag(cluster)
     cluster.add_argument("--kill-helper", type=int, default=None,
                          metavar="HELPER_ID",
                          help="SIGKILL this helper mid-run (viewers must "
@@ -647,6 +674,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "scenarios need a short deadman)")
     cluster.add_argument("--no-backup", action="store_true",
                          help="run without the backup controller node")
+    cluster.add_argument("--churn", type=int, default=0, metavar="EVENTS",
+                         help="seeded VCR churn events (pause/resume/stop) "
+                              "layered over the arrival plan; replayed "
+                              "identically by --compare-sim")
     cluster.add_argument("--compare-sim", action="store_true",
                          help="replay the scenario in the simulator and "
                               "diff protocol counters within tolerance")

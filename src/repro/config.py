@@ -21,6 +21,11 @@ from typing import Optional
 
 from repro.disk.model import DiskParameters, worst_case_streams_per_disk
 
+#: Slot-placement policies every admitter understands (see
+#: :mod:`repro.core.placement`).  ``first-fit`` is the historical
+#: behavior and the default.
+PLACEMENT_POLICIES = ("first-fit", "deadline-greedy", "load-spread")
+
 
 @dataclass(frozen=True)
 class TigerConfig:
@@ -85,6 +90,10 @@ class TigerConfig:
     #: disables the guard, as the paper's experiments did.  Cubs enforce
     #: it from a purely local load estimate — no global state.
     admission_load_limit: Optional[float] = None
+    #: Slot-placement policy used by every admitter (one of
+    #: ``PLACEMENT_POLICIES``).  ``first-fit`` reproduces the
+    #: pre-policy behavior bit-for-bit.
+    placement: str = "first-fit"
 
     # ------------------------------------------------------------------
     # CPU cost model (calibrated against §5; see DESIGN.md)
@@ -119,6 +128,11 @@ class TigerConfig:
             raise ValueError(
                 "forwarding pump period must fit inside the "
                 "[minVStateLead, maxVStateLead] window"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
             )
 
     # ------------------------------------------------------------------

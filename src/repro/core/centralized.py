@@ -19,6 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import TigerConfig
+from repro.core.placement import (
+    SlotCandidate,
+    make_placement_policy,
+    ring_crowding,
+)
 from repro.core.schedule import GlobalSchedule
 from repro.core.slots import SlotClock
 from repro.net.message import KIND_DATA, Message
@@ -125,6 +130,9 @@ class CentralizedController(NetworkNode):
         self.cpu = BusyMeter(sim.now)
         self.commands_sent = Counter()
         self._active: Dict[int, bool] = {}
+        #: Slot-placement policy (no registry here: the baseline keeps
+        #: the plain stats counters it always had).
+        self.placement = make_placement_policy(config.placement)
 
     def handle_message(self, message: Message) -> None:  # pragma: no cover
         raise TypeError("the centralized controller takes no inbound messages")
@@ -136,27 +144,52 @@ class CentralizedController(NetworkNode):
         free = self.schedule.free_slots()
         if not free:
             return False
-        # With the whole schedule in hand, the central scheduler can do
-        # what distributed ownership only approximates: pick the free
-        # slot the start disk reaches soonest.
+        # With the whole schedule in hand, the central scheduler can
+        # offer the policy every free slot at once, ordered by when the
+        # start disk reaches each (the legacy soonest-visit preference).
         first_disk = entry.start_disk
-        slot, first_due = min(
+        ordered = sorted(
             (
-                (candidate, self.clock.visit_time(
+                (self.clock.visit_time(
                     first_disk, candidate, self.sim.now + self.command_lead
-                ))
+                ), candidate)
                 for candidate in free
-            ),
-            key=lambda pair: pair[1],
+            )
         )
+        occupied = None
+        if self.placement.needs_crowding:
+            free_set = set(free)
+            occupied = [s not in free_set for s in range(self.config.num_slots)]
+        candidates = [
+            SlotCandidate(
+                candidate,
+                due,
+                rank,
+                ring_crowding(occupied, candidate) if occupied else 0.0,
+            )
+            for rank, (due, candidate) in enumerate(ordered)
+        ]
+        chosen = self.placement.choose(
+            candidates, patience=self.config.block_play_time
+        )
+        slot, first_due = chosen.slot, chosen.visit
         self.schedule.insert(slot, viewer_id, instance, file_id, 0, self.sim.now)
         self._active[instance] = True
         self._issue(viewer_id, instance, file_id, slot, 0, first_disk, first_due)
         return True
 
     def stop_viewer(self, instance: int, slot: int) -> None:
+        """Release ``instance``'s slot, tolerating stale stops.
+
+        The removal is conditional on the slot's current occupant still
+        being this instance: a stop that arrives after the viewer ended
+        (or after the slot was reused by a later start) must not evict
+        the new occupant.
+        """
         self._active.pop(instance, None)
-        self.schedule.remove_unconditional(slot)
+        occupant = self.schedule.occupant(slot)
+        if occupant is not None and occupant.instance == instance:
+            self.schedule.remove(slot, occupant.viewer_id, occupant.instance)
 
     def _issue(
         self,

@@ -267,7 +267,8 @@ class ViewerClient(NetworkNode):
                 self.address,
                 CONTROLLER_ADDRESS,
                 ClientStart(monitor.viewer_id, monitor.instance,
-                            monitor.file_id, monitor.first_block),
+                            monitor.file_id, monitor.first_block,
+                            request_time=monitor.request_time),
                 REQUEST_BYTES,
             )
         )
@@ -288,7 +289,8 @@ class ViewerClient(NetworkNode):
             Message(
                 self.address,
                 self.backup_controller,
-                ClientStart(monitor.viewer_id, instance, file_id, first_block),
+                ClientStart(monitor.viewer_id, instance, file_id, first_block,
+                            request_time=monitor.request_time),
                 REQUEST_BYTES,
             )
         )

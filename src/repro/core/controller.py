@@ -158,6 +158,7 @@ class Controller(NetworkNode):
                     file_id=record.file_id,
                     first_block=record.first_block,
                     slot=record.slot,
+                    request_time=record.request_time,
                 ),
                 DESCHEDULE_BYTES,
             )
@@ -216,12 +217,21 @@ class Controller(NetworkNode):
         target_disk = self.layout.disk_of_block(
             entry.start_disk, request.first_block
         )
+        # Startup latency is charged from the *client's* request time
+        # when the client supplies it; the controller's receive time is
+        # only the fallback.  Admission-time stamping silently excluded
+        # the wait a request spends queued behind a full schedule.
+        request_time = (
+            request.request_time
+            if request.request_time >= 0.0
+            else self.sim.now
+        )
         record = PlayRecord(
             viewer_id=request.viewer_id,
             instance=request.instance,
             file_id=request.file_id,
             first_block=request.first_block,
-            request_time=self.sim.now,
+            request_time=request_time,
         )
         self.plays[request.instance] = record
         primary_cub = self.layout.cub_of_disk(target_disk)
@@ -233,7 +243,7 @@ class Controller(NetworkNode):
                 file_id=request.file_id,
                 first_block=request.first_block,
                 target_disk=target_disk,
-                request_time=self.sim.now,
+                request_time=request_time,
                 redundant=redundant,
             )
             self.network.send(

@@ -124,7 +124,11 @@ class BackupController(Controller):
                     instance=update.instance,
                     file_id=update.file_id,
                     first_block=update.first_block,
-                    request_time=self.sim.now,
+                    request_time=(
+                        update.request_time
+                        if update.request_time >= 0.0
+                        else self.sim.now
+                    ),
                 )
             return
         if record is None:

@@ -134,7 +134,12 @@ class NetworkSchedule:
             spans.append((0.0, offset + width - self.length))
         for lo, hi in spans:
             left = bisect_left(self._sorted_offsets, lo - _EPS)
-            right = bisect_left(self._sorted_offsets, hi - _EPS)
+            # Include entries within float fuzz of the window top: an
+            # entry at hi - ulp genuinely overlaps the window, and
+            # skipping it lets can_insert under-count the peak and admit
+            # past capacity.  An entry at exactly hi costs one spurious
+            # (conservative) probe point, never an optimistic answer.
+            right = bisect_left(self._sorted_offsets, hi)
             for position in self._sorted_offsets[left:right]:
                 load = self.load_at(position)
                 if load > peak:
@@ -220,6 +225,22 @@ class NetworkSchedule:
         are ``after`` itself and every entry *end* (the natural greedy
         choice that creates unusable slivers).
         """
+        feasible = self.find_offsets(bitrate_bps, after, quantum, limit=1)
+        return feasible[0] if feasible else None
+
+    def find_offsets(
+        self,
+        bitrate_bps: float,
+        after: float = 0.0,
+        quantum: Optional[float] = None,
+        limit: int = 16,
+    ) -> List[float]:
+        """Up to ``limit`` feasible start positions in the same scan
+        order :meth:`find_offset` uses (soonest-after-``after`` first).
+
+        This is the candidate enumeration for pluggable placement:
+        index 0 is exactly what :meth:`find_offset` returns.
+        """
         after %= self.length
         if quantum is not None:
             if quantum <= 0:
@@ -240,10 +261,13 @@ class NetworkSchedule:
                 (after + ((end - after) % self.length)) % self.length
                 for end in ends
             ]
+        feasible: List[float] = []
         for candidate in candidates:
             if self.can_insert(candidate, bitrate_bps):
-                return candidate % self.length
-        return None
+                feasible.append(candidate % self.length)
+                if len(feasible) >= limit:
+                    break
+        return feasible
 
     def utilization(self) -> float:
         """Committed bandwidth-time as a fraction of the whole plane."""

@@ -1,0 +1,277 @@
+"""Pluggable slot-placement policies for schedule admission.
+
+Every admitter in the system — the distributed cub ownership-instant
+scan (§4.1.3), the centralized baseline controller (§3.3), and the
+multiple-bitrate network-schedule admission (§3.2) — has to answer the
+same question: *given the free capacity I can legally claim, where does
+the pending viewer go?*  Historically each admitter hard-coded
+first-fit (take the soonest legal visit).  This module lifts the
+decision behind one :class:`PlacementPolicy` contract so the policies
+can be compared under identical load (the fig-10 experiment at 95%+
+load with VCR churn).
+
+The admitter enumerates its legal choices as :class:`SlotCandidate`
+records **in its legacy preference order** (``rank`` 0 is exactly what
+the pre-policy code would have picked) and the policy returns one of
+them.  Policies never evict: they only choose among what is already
+free, so correctness is independent of policy.
+
+Three deterministic policies ship:
+
+``first-fit``
+    ``candidates[0]`` — bit-identical to the historical behavior, and
+    the default.  Chaos replay fingerprints with this policy must match
+    the pre-policy code exactly.
+
+``deadline-greedy``
+    Snippet-1 shape: always serve the deadline that will enter an ERROR
+    state soonest.  Slot-wise it ranks free slots by the pending
+    viewer's time-to-first-block deadline (the disk clock's
+    ``visit_time``) and takes the soonest — on every admitter's
+    legacy-ordered candidate list that coincides with first-fit's slot,
+    which is why the policies tie in an undisturbed schedule.
+    Request-wise it departs from FIFO: the *oldest* outstanding
+    ``request_time`` in the wait queue wins the slot, not the head of
+    the arrival-order queue.  The two orders disagree exactly when
+    routing delays requests asymmetrically — after a controller
+    failover, a start issued just before the crash reaches the cubs
+    via its retry-against-the-backup timer *later* than a start issued
+    after takeover, so FIFO serves the young request first and parks
+    the old one behind another full scan of a 95%-occupied ring.
+    Earliest-deadline-first placement repairs that inversion, which is
+    what flattens the startup-latency tail in the fig-10 experiment.
+
+``load-spread``
+    Penalizes slots that concentrate consecutive service on one disk:
+    among the next free visits it picks the one with the least crowded
+    neighborhood (fewest occupied adjacent slots), bounded by a
+    patience window so no viewer waits more than ~one block play time
+    beyond first-fit.  Spreading occupied slots keeps free slots spread
+    too, which is what flattens the fig-10 tail near capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.config import PLACEMENT_POLICIES
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "SlotCandidate",
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "DeadlineGreedyPolicy",
+    "LoadSpreadPolicy",
+    "make_placement_policy",
+]
+
+
+class SlotCandidate(NamedTuple):
+    """One legal insertion choice, as seen by an admitter.
+
+    The fields are deliberately admitter-relative: ``slot`` is a ring
+    slot for the disk schedules and a grid index for the network
+    schedule; ``visit`` is the absolute service time for the disk
+    schedules and the start delay for the network schedule.  Policies
+    only ever *compare* candidates, so the units cancel.
+    """
+
+    slot: int
+    #: When this choice would first serve the viewer (admitter timebase).
+    visit: float
+    #: Position in the admitter's legacy preference order; rank 0 is
+    #: what the pre-policy code would have chosen.
+    rank: int
+    #: Consecutive-service pressure around the slot (0 = isolated).
+    crowding: float = 0.0
+
+
+class PlacementPolicy:
+    """Contract shared by all three admitters.
+
+    Subclasses override :meth:`_pick` (slot choice) and optionally
+    :meth:`select_request` (wait-queue choice).  The base class owns the
+    ``placement.*`` metrics so every admitter reports identically.
+    """
+
+    #: Policy name as used by ``--placement`` and ``TigerConfig``.
+    name = "first-fit"
+    #: How many candidates the admitter should bother generating.  1
+    #: means "rank 0 only" and lets admitters keep their legacy
+    #: single-candidate fast path byte-for-byte.
+    lookahead = 1
+    #: Whether candidates need their ``crowding`` field computed.
+    needs_crowding = False
+
+    def __init__(self, registry=None) -> None:
+        if registry is not None:
+            self._candidates_metric = registry.counter(
+                "placement.candidates_considered",
+                help="Free candidates enumerated per placement decision",
+                unit="candidates",
+                policy=self.name,
+            )
+            self._rank_metric = registry.histogram(
+                "placement.slot_rank",
+                help="Legacy-order rank of the chosen slot (0 = first-fit)",
+                unit="rank",
+                policy=self.name,
+            )
+            self._deferrals_metric = registry.counter(
+                "placement.deferrals",
+                help="Ownership instants skipped to reach a later slot",
+                unit="instants",
+                policy=self.name,
+            )
+        else:
+            self._candidates_metric = None
+            self._rank_metric = None
+            self._deferrals_metric = None
+
+    # ------------------------------------------------------------------
+    def select_request(self, requests: Sequence, now: float) -> int:
+        """Index of the queued request to serve next (default FIFO)."""
+        return 0
+
+    def choose(
+        self,
+        candidates: Sequence[SlotCandidate],
+        waited: float = 0.0,
+        patience: Optional[float] = None,
+    ) -> Optional[SlotCandidate]:
+        """Pick one of ``candidates`` (or None when the list is empty).
+
+        ``waited`` is how long the policy has already made the pending
+        viewer wait beyond its first placement opportunity, and
+        ``patience`` bounds how much extra wait a policy may trade for
+        a better slot; past it every policy degenerates to first-fit so
+        placement never starves a viewer.
+        """
+        if not candidates:
+            return None
+        if patience is not None and waited >= patience:
+            chosen = candidates[0]
+        else:
+            chosen = self._pick(candidates)
+        if self._candidates_metric is not None:
+            self._candidates_metric.increment(len(candidates))
+            self._rank_metric.observe(float(chosen.rank))
+        return chosen
+
+    def record_deferral(self) -> None:
+        """The admitter skipped an ownership instant to honor a rank>0
+        choice (distributed path only)."""
+        if self._deferrals_metric is not None:
+            self._deferrals_metric.increment()
+
+    # ------------------------------------------------------------------
+    def _pick(self, candidates: Sequence[SlotCandidate]) -> SlotCandidate:
+        raise NotImplementedError
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Exactly the historical behavior: the admitter's first choice."""
+
+    name = "first-fit"
+    lookahead = 1
+    needs_crowding = False
+
+    def _pick(self, candidates: Sequence[SlotCandidate]) -> SlotCandidate:
+        return candidates[0]
+
+
+class DeadlineGreedyPolicy(PlacementPolicy):
+    """Serve whoever will enter an ERROR state soonest (Snippet 1).
+
+    Slot choice minimizes the pending viewer's time-to-first-block —
+    the soonest ``visit`` — which on a legacy-ordered candidate list
+    is first-fit's slot, so an undisturbed schedule behaves exactly
+    like first-fit.  The payoff is request choice: the viewer nearest
+    ERROR is the one that has waited longest, so the oldest
+    outstanding ``request_time`` wins the slot rather than the head of
+    the arrival-order queue.  Arrival order and request age diverge
+    after asymmetric routing delays — most visibly the
+    retry-against-the-backup path a controller failover forces, which
+    lands pre-crash requests at the tails of wait queues that already
+    hold younger post-takeover requests.
+    """
+
+    name = "deadline-greedy"
+    lookahead = 1
+    needs_crowding = False
+
+    def select_request(self, requests: Sequence, now: float) -> int:
+        best = 0
+        best_time = getattr(requests[0], "request_time", 0.0)
+        for index in range(1, len(requests)):
+            request_time = getattr(requests[index], "request_time", 0.0)
+            if request_time < best_time - 1e-12:
+                best = index
+                best_time = request_time
+        return best
+
+    def _pick(self, candidates: Sequence[SlotCandidate]) -> SlotCandidate:
+        return min(candidates, key=lambda c: (c.visit, c.rank))
+
+
+class LoadSpreadPolicy(PlacementPolicy):
+    """Keep consecutive service off any one disk neighborhood.
+
+    Among the free candidates, take the least crowded one (ties go to
+    the soonest visit).  In the distributed path a rank>0 choice defers
+    the insert to a later ownership instant; the patience bound in
+    :meth:`PlacementPolicy.choose` caps the latency cost.
+    """
+
+    name = "load-spread"
+    lookahead = 4
+    needs_crowding = True
+
+    def _pick(self, candidates: Sequence[SlotCandidate]) -> SlotCandidate:
+        return min(candidates, key=lambda c: (c.crowding, c.rank))
+
+
+_POLICY_CLASSES = {
+    FirstFitPolicy.name: FirstFitPolicy,
+    DeadlineGreedyPolicy.name: DeadlineGreedyPolicy,
+    LoadSpreadPolicy.name: LoadSpreadPolicy,
+}
+
+assert tuple(sorted(_POLICY_CLASSES)) == tuple(sorted(PLACEMENT_POLICIES))
+
+
+def make_placement_policy(name: str, registry=None) -> PlacementPolicy:
+    """Build the policy ``name`` (see ``PLACEMENT_POLICIES``)."""
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; "
+            f"expected one of {sorted(_POLICY_CLASSES)}"
+        ) from None
+    return cls(registry)
+
+
+def ring_crowding(
+    occupied: Sequence[bool], slot: int, window: int = 2
+) -> float:
+    """Occupied neighbors of ``slot`` within ``window`` ring positions.
+
+    Helper for admitters that hold a whole-ring occupancy view (the
+    centralized controller); the distributed path asks its local view
+    per neighbor instead.
+    """
+    num_slots = len(occupied)
+    count = 0
+    for delta in range(-window, window + 1):
+        if delta == 0:
+            continue
+        if occupied[(slot + delta) % num_slots]:
+            count += 1
+    return float(count)
+
+
+def neighbor_offsets(window: int = 2) -> List[int]:
+    """The ring deltas a crowding estimate inspects (±window, sans 0)."""
+    return [d for d in range(-window, window + 1) if d != 0]

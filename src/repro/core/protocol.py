@@ -137,12 +137,21 @@ class BlockData:
 
 @dataclass(frozen=True)
 class ClientStart:
-    """Viewer -> controller: begin playing ``file_id`` at ``first_block``."""
+    """Viewer -> controller: begin playing ``file_id`` at ``first_block``.
+
+    ``request_time`` is the client's clock at the moment it asked —
+    startup latency (fig-10) measures from here, not from when the
+    controller got around to admitting the request, so waits queued
+    behind a full schedule are charged to the histogram too.  Negative
+    means "unknown" (pre-upgrade client); the controller falls back to
+    its own receive time.
+    """
 
     viewer_id: str
     instance: int
     file_id: int
     first_block: int = 0
+    request_time: float = -1.0
 
 
 @dataclass(frozen=True)
@@ -179,6 +188,8 @@ class ReplicaUpdate:
     file_id: int = -1
     first_block: int = 0
     slot: Optional[int] = None
+    #: Client request time for "start" records (-1.0 = unknown).
+    request_time: float = -1.0
 
 
 # ----------------------------------------------------------------------

@@ -62,7 +62,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from collections import deque
 
-from repro.config import TigerConfig
+from repro.config import PLACEMENT_POLICIES, TigerConfig
 from repro.core.client import ViewerClient
 from repro.core.failover import BACKUP_CONTROLLER_ADDRESS
 from repro.core.protocol import BlockData
@@ -96,6 +96,7 @@ from repro.obs.registry import (
     merge_snapshots,
     snapshot_total,
 )
+from repro.sim.rng import RngRegistry
 from repro.workloads.arrivals import (
     ARRIVAL_MODES,
     DEFAULT_ZIPF_EXPONENT,
@@ -165,6 +166,11 @@ class ClusterScenario:
     helper_policy: str = "lru"
     #: Helper id to SIGKILL mid-run; None keeps all helpers alive.
     kill_helper: Optional[int] = None
+    #: Slot-placement policy both backends run (see repro.core.placement).
+    placement: str = "first-fit"
+    #: Seeded VCR churn events (pause/resume/stop) to schedule on top
+    #: of the arrival plan; 0 keeps the legacy plan byte-for-byte.
+    churn: int = 0
 
     def __post_init__(self) -> None:
         if self.cubs < 3:
@@ -188,6 +194,11 @@ class ClusterScenario:
             raise ValueError(
                 f"kill target helper:{self.kill_helper} out of range"
             )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; pick one "
+                f"of {PLACEMENT_POLICIES}"
+            )
         if self.codec not in SUPPORTED_CODECS:
             raise ValueError(
                 f"unknown codec {self.codec!r}; pick one of "
@@ -200,6 +211,8 @@ class ClusterScenario:
             )
         if not 1 <= self.hubs <= self.cubs:
             raise ValueError("hubs must be within [1, cubs]")
+        if self.churn < 0:
+            raise ValueError("churn must be >= 0")
 
     def config(self) -> TigerConfig:
         """The Tiger config both backends run."""
@@ -209,6 +222,7 @@ class ClusterScenario:
             decluster=2,
             streams_per_disk_override=4.0,
             deadman_timeout=self.deadman_timeout,
+            placement=self.placement,
         )
 
     def stream_plan(self) -> List[Tuple[int, int, float]]:
@@ -257,6 +271,37 @@ class ClusterScenario:
         if self.streams > 0 and stop_at > self.first_start + 3.0:
             return [(0, stop_at)]
         return []
+
+    def churn_plan(self) -> List[Tuple[float, str, int]]:
+        """Seeded VCR events ``(time, op, client_index)``.
+
+        ``op`` is ``pause``, ``resume``, or ``stop``.  The plan is a
+        pure function of the scenario, so the live run and the
+        ``--compare-sim`` replay execute the identical operation
+        sequence.  Client 0 is left alone (the legacy :meth:`stop_plan`
+        owns it) and each victim is touched once, so the plan never
+        depends on runtime state.
+        """
+        if self.churn <= 0:
+            return []
+        rng = RngRegistry(self.seed).stream("cluster-churn")
+        window_start = self.first_start + 2.0
+        window_end = max(window_start + 1.0, self.duration * 0.85)
+        free = list(range(1, self.streams))
+        events: List[Tuple[float, str, int]] = []
+        for _ in range(self.churn):
+            if not free:
+                break
+            victim = free.pop(rng.randrange(len(free)))
+            at = rng.uniform(window_start, window_end)
+            if rng.random() < 0.7:
+                resume_at = min(window_end, at + rng.uniform(1.0, 4.0))
+                events.append((at, "pause", victim))
+                events.append((resume_at, "resume", victim))
+            else:
+                events.append((at, "stop", victim))
+        events.sort(key=lambda event: (event[0], event[2]))
+        return events
 
     def kill_time(self) -> Optional[float]:
         if self.kill_cub is None:
@@ -915,6 +960,7 @@ async def _run_cluster_async(
         clients.append(client)
 
     instances: Dict[int, int] = {}
+    paused_instances: Dict[int, int] = {}
 
     def _start_stream(client_index: int, file_index: int) -> None:
         file_id = world.files[file_index].file_id
@@ -925,10 +971,33 @@ async def _run_cluster_async(
         if instance is not None:
             clients[client_index].stop_stream(instance)
 
+    def _pause_stream(client_index: int) -> None:
+        instance = instances.get(client_index)
+        if instance is not None:
+            parked = clients[client_index].pause_stream(instance)
+            if parked is not None:
+                paused_instances[client_index] = parked
+                instances.pop(client_index, None)
+
+    def _resume_stream(client_index: int) -> None:
+        parked = paused_instances.pop(client_index, None)
+        if parked is not None:
+            resumed = clients[client_index].resume_stream(parked)
+            if resumed is not None:
+                instances[client_index] = resumed
+
+    _churn_ops = {
+        "pause": _pause_stream,
+        "resume": _resume_stream,
+        "stop": _stop_stream,
+    }
+
     for client_index, file_index, start_at in scenario.stream_plan():
         runtime.call_at(start_at, _start_stream, client_index, file_index)
     for client_index, stop_at in scenario.stop_plan():
         runtime.call_at(stop_at, _stop_stream, client_index)
+    for churn_at, op, client_index in scenario.churn_plan():
+        runtime.call_at(churn_at, _churn_ops[op], client_index)
 
     kill_at = scenario.kill_time()
     if kill_at is not None:
@@ -1045,6 +1114,7 @@ def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
     clients = [system.add_client() for _ in range(scenario.streams)]
 
     instances: Dict[int, int] = {}
+    paused_instances: Dict[int, int] = {}
 
     def _start_stream(client_index: int, file_index: int) -> None:
         file_id = files[file_index].file_id
@@ -1055,10 +1125,33 @@ def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
         if instance is not None:
             clients[client_index].stop_stream(instance)
 
+    def _pause_stream(client_index: int) -> None:
+        instance = instances.get(client_index)
+        if instance is not None:
+            parked = clients[client_index].pause_stream(instance)
+            if parked is not None:
+                paused_instances[client_index] = parked
+                instances.pop(client_index, None)
+
+    def _resume_stream(client_index: int) -> None:
+        parked = paused_instances.pop(client_index, None)
+        if parked is not None:
+            resumed = clients[client_index].resume_stream(parked)
+            if resumed is not None:
+                instances[client_index] = resumed
+
+    _churn_ops = {
+        "pause": _pause_stream,
+        "resume": _resume_stream,
+        "stop": _stop_stream,
+    }
+
     for client_index, file_index, start_at in scenario.stream_plan():
         system.sim.call_at(start_at, _start_stream, client_index, file_index)
     for client_index, stop_at in scenario.stop_plan():
         system.sim.call_at(stop_at, _stop_stream, client_index)
+    for churn_at, op, client_index in scenario.churn_plan():
+        system.sim.call_at(churn_at, _churn_ops[op], client_index)
     kill_at = scenario.kill_time()
     if kill_at is not None:
         system.sim.call_at(kill_at, system.cubs[scenario.kill_cub].fail)

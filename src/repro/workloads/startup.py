@@ -19,10 +19,18 @@ from repro.workloads.generator import ContinuousWorkload
 
 @dataclass
 class StartSample:
-    """One dot on Figure 10."""
+    """One dot on Figure 10.
+
+    ``censored`` marks a start still waiting for its first block when
+    the probe closed: its latency is a *lower bound* (elapsed wait so
+    far).  Dropping these — the old behaviour — silently excluded
+    exactly the starts queued behind a full schedule, biasing the
+    high-load tail of the figure downward.
+    """
 
     schedule_load: float
     latency: float
+    censored: bool = False
 
 
 @dataclass
@@ -44,6 +52,10 @@ class StartupResult:
         ]
         return sum(band) / len(band) if band else None
 
+    def pending_count(self) -> int:
+        """Starts that never completed before the probe closed."""
+        return sum(1 for sample in self.samples if sample.censored)
+
 
 class StartupLatencyProbe:
     """Collects (load, latency) points while a ramp fills the system.
@@ -64,17 +76,33 @@ class StartupLatencyProbe:
         self.probe_timeout = probe_timeout
         self._recorded = set()
 
-    def collect(self, result: StartupResult) -> int:
-        """Sweep all monitors, adding newly completed starts."""
+    def collect(
+        self, result: StartupResult, include_pending: bool = False
+    ) -> int:
+        """Sweep all monitors, adding newly completed starts.
+
+        With ``include_pending`` (the closing sweep), starts still
+        waiting for their first block are recorded as *censored*
+        samples whose latency is the wait so far — the figure must show
+        that a request queued behind a full schedule waited at least
+        that long, not pretend it never happened.
+        """
         added = 0
+        now = self.system.sim.now
         for monitor in self.workload.all_monitors():
             if monitor.instance in self._recorded:
                 continue
             latency = monitor.startup_latency
+            censored = False
             if latency is None:
-                continue
+                if not include_pending or monitor.stopped:
+                    continue
+                latency = max(0.0, now - monitor.request_time)
+                censored = True
             load_at_start = self._load_near(monitor.request_time)
-            result.samples.append(StartSample(load_at_start, latency))
+            result.samples.append(
+                StartSample(load_at_start, latency, censored)
+            )
             self._recorded.add(monitor.instance)
             added += 1
         return added
@@ -102,7 +130,8 @@ class StartupLatencyProbe:
             self.workload.add_streams(batch)
             self.system.run_for(settle)
             self.collect(result)
-        # Give stragglers (high-load starts) time to complete.
+        # Give stragglers (high-load starts) time to complete; whatever
+        # is *still* pending enters the figure as a censored wait.
         self.system.run_for(self.probe_timeout)
-        self.collect(result)
+        self.collect(result, include_pending=True)
         return result

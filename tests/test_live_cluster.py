@@ -68,6 +68,30 @@ def test_scenario_plans_are_deterministic():
     assert ClusterScenario(cubs=4, kill_cub=1).kill_time() == 8.0
 
 
+def test_churn_plan_is_deterministic_and_leaves_client_zero_alone():
+    scenario = ClusterScenario(cubs=4, streams=8, churn=6, seed=5)
+    plan = scenario.churn_plan()
+    assert plan == ClusterScenario(cubs=4, streams=8, churn=6, seed=5).churn_plan()
+    assert plan  # six churn events over seven eligible clients
+    assert plan == sorted(plan, key=lambda event: (event[0], event[2]))
+    window_start = scenario.first_start + 2.0
+    window_end = max(window_start + 1.0, scenario.duration * 0.85)
+    for at, op, client_index in plan:
+        assert op in ("pause", "resume", "stop")
+        assert client_index != 0  # stop_plan owns client 0
+        assert 0 < client_index < scenario.streams
+        assert window_start <= at <= window_end
+    # Every pause has a matching resume for the same client.
+    paused = [c for _, op, c in plan if op == "pause"]
+    resumed = [c for _, op, c in plan if op == "resume"]
+    assert sorted(paused) == sorted(resumed)
+    # No churn requested -> empty plan (the legacy scenarios are
+    # byte-identical to before the field existed).
+    assert ClusterScenario(cubs=4, streams=8).churn_plan() == []
+    with pytest.raises(ValueError, match="churn"):
+        ClusterScenario(cubs=4, churn=-1)
+
+
 def test_config_round_trips_through_node_spec():
     config = small_config(deadman_timeout=3.0)
     rebuilt = config_from_dict(config_to_dict(config))

@@ -152,6 +152,17 @@ PAPER_CLAIMS = {
         "and lowers the startup p99 at 95% load under VCR churn; "
         "load-spread trades median latency for spread-out free slots.",
     ),
+    "online_restripe": (
+        "Extension — online restriping under live traffic",
+        "§2.2 bounds restripe time by disk and network bandwidth on "
+        "dedicated hardware.  The online restriper executes a "
+        "mixed-generation (heterogeneous-capacity) plan while viewers "
+        "stream: copies are throttled off the slot schedule, every move "
+        "is journaled for crash-resume, and dual presence keeps each "
+        "block readable at its source until its commit — so the online "
+        "run can never beat the dedicated estimate, and finishes with "
+        "zero viewer-visible loss.",
+    ),
     "chaos_soak": (
         "§4–§5 correctness under faults (chaos soak)",
         "The schedule protocol's claims — single ownership of every "
@@ -185,6 +196,7 @@ EXPERIMENT_ORDER = [
     "flash_crowd",
     "helper_offload",
     "placement_policies",
+    "online_restripe",
     "chaos_soak",
 ]
 

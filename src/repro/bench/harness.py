@@ -435,7 +435,8 @@ _WORKLOAD_RUNNERS = {
 
 #: Workload names in canonical execution order.
 WORKLOADS = (
-    "kernel", "fig8", "chaos", "scale", "live", "helpers", "placement"
+    "kernel", "fig8", "chaos", "scale", "live", "helpers", "placement",
+    "restripe",
 )
 
 
@@ -524,6 +525,11 @@ def run_workload(
         from repro.bench.placement import run_placement_workload
 
         return run_placement_workload(seed=seed, quick=quick)
+    if name == "restripe":
+        # Imported lazily: drags in the rebalancer and faults stack.
+        from repro.bench.restripe import run_restripe_workload
+
+        return run_restripe_workload(seed=seed, quick=quick)
     if name == "helpers":
         # Imported lazily: the edge tier drags in the helper subsystem.
         from repro.bench.helpers import run_helpers_workload

@@ -136,6 +136,75 @@ def _bad_helpers(args) -> bool:
     return False
 
 
+def _parse_restripe_weights(spec: str, config: TigerConfig) -> tuple:
+    """Decode ``--restripe`` weights.
+
+    Accepts either ``num_disks`` comma-separated integers (one per
+    disk) or ``disks_per_cub`` integers (one per *local* disk slot,
+    replicated across every cub — the natural spelling for a
+    mixed-generation upgrade where each cub got the same new drive).
+    """
+    try:
+        values = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"weights must be integers: {spec!r}")
+    if not values:
+        raise ValueError("no weights given")
+    if any(weight < 1 for weight in values):
+        raise ValueError("weights must be >= 1")
+    if len(values) == config.num_disks:
+        return values
+    if len(values) == config.disks_per_cub:
+        # disk d's local slot on its cub is d // num_cubs.
+        return tuple(
+            values[disk // config.num_cubs] for disk in range(config.num_disks)
+        )
+    raise ValueError(
+        f"expected {config.num_disks} per-disk or "
+        f"{config.disks_per_cub} per-local-slot weights, got {len(values)}"
+    )
+
+
+def _attach_cli_restriper(system, weights, throttle, journal_path=None):
+    """Plan a weighted rebalance of the system's content and attach an
+    :class:`OnlineRestriper` for it (shared by demo/chaos/restripe)."""
+    from repro.storage.journal import MoveJournal
+    from repro.storage.rebalance import plan_rebalance
+
+    weighted = system.layout.with_weights(weights)
+    files = system.catalog.files()
+    block_bytes = {
+        entry.file_id: entry.content_bytes_per_block for entry in files
+    }
+    plan = plan_rebalance(system.layout, weighted, files, block_bytes)
+    journal = MoveJournal.load(journal_path) if journal_path else None
+    return system.attach_restriper(plan, journal=journal, throttle=throttle)
+
+
+def _print_restripe_summary(restriper) -> None:
+    journal = restriper.journal
+    state = (
+        "aborted" if restriper.aborted
+        else "finished" if restriper.finished
+        else "suspended" if restriper.suspended
+        else "in progress"
+    )
+    print(f"restripe {state}: "
+          f"{int(restriper.moves_committed.value())} committed + "
+          f"{int(restriper.moves_skipped.value())} resumed-skipped of "
+          f"{len(restriper.plan.moves)} moves "
+          f"({restriper.progress_ratio():.0%}), "
+          f"{int(restriper.bytes_moved.value())} bytes, "
+          f"{int(restriper.retries.value())} retries")
+    if restriper.finished:
+        elapsed = restriper.finished_at - restriper.started_at
+        print(f"restripe elapsed {elapsed:.1f}s, "
+              f"placement {restriper.result_fingerprint()[:16]}…")
+    if journal.path is not None:
+        print(f"restripe journal: {journal.path} "
+              f"({len(journal.records)} records)")
+
+
 def _bad_victim(args, config) -> bool:
     """Validate a ``--victim`` cub id against the chosen config."""
     if 0 <= args.victim < config.num_cubs:
@@ -152,10 +221,23 @@ def cmd_demo(args) -> int:
         return 2
     tracer = _make_tracer(args)
     system = _build_system(args, tracer=tracer)
+    restriper = None
+    if args.restripe is not None:
+        try:
+            weights = _parse_restripe_weights(args.restripe, system.config)
+        except ValueError as error:
+            print(f"error: --restripe: {error}")
+            return 2
+        restriper = _attach_cli_restriper(
+            system, weights, args.restripe_throttle, args.restripe_journal
+        )
+        system.sim.call_at(args.restripe_start, restriper.start)
     workload = ContinuousWorkload(system)
     workload.add_streams(args.streams)
     system.run_for(args.seconds)
     system.finalize_clients()
+    if restriper is not None:
+        _print_restripe_summary(restriper)
 
     print(f"t={system.sim.now:.1f}s  "
           f"{system.oracle.num_occupied}/{system.config.num_slots} slots "
@@ -252,6 +334,13 @@ def cmd_chaos(args) -> int:
         return 2
     if _bad_victim(args, config):
         return 2
+    restripe_weights = None
+    if args.restripe is not None:
+        try:
+            restripe_weights = _parse_restripe_weights(args.restripe, config)
+        except ValueError as error:
+            print(f"error: --restripe: {error}")
+            return 2
     try:
         plan = standard_chaos_plan(
             duration=args.seconds,
@@ -278,6 +367,10 @@ def cmd_chaos(args) -> int:
         helpers=args.helpers,
         helper_capacity=args.helper_capacity,
         helper_policy=args.helper_policy,
+        restripe_weights=restripe_weights,
+        restripe_throttle=args.restripe_throttle,
+        restripe_start=args.restripe_start,
+        restripe_journal=args.restripe_journal,
     )
     try:
         report = harness.run()
@@ -292,11 +385,83 @@ def cmd_chaos(args) -> int:
         return 1
     for line in report.lines():
         print(line)
+    if harness.system is not None and harness.system.restriper is not None:
+        _print_restripe_summary(harness.system.restriper)
     if tracer is not None:
         _export_trace(args.trace, tracer)
     if args.metrics_out is not None:
         _export_metrics(args.metrics_out, harness.system)
     return 0
+
+
+def cmd_restripe(args) -> int:
+    """Run a capacity-weighted online restripe under live traffic."""
+    from repro.disk.zones import ZONE_OUTER
+    from repro.storage.restripe import estimate_restripe_time
+
+    config = _cli_config(args)
+    if args.seconds <= 0:
+        print("error: --seconds must be positive")
+        return 2
+    if not 0.0 < args.load <= 1.0:
+        print("error: --load must be in (0, 1]")
+        return 2
+    weights_spec = args.weights
+    if weights_spec is None:
+        # Default drill: every cub's last local disk is a new
+        # double-capacity generation.
+        weights_spec = ",".join(
+            ["1"] * (config.disks_per_cub - 1) + ["2"]
+        ) if config.disks_per_cub > 1 else "1"
+    try:
+        weights = _parse_restripe_weights(weights_spec, config)
+    except ValueError as error:
+        print(f"error: --weights: {error}")
+        return 2
+
+    tracer = _make_tracer(args)
+    system = _build_system(args, tracer=tracer)
+    restriper = _attach_cli_restriper(
+        system, weights, args.throttle, args.journal
+    )
+    plan = restriper.plan
+    block_bytes = config.block_bytes
+    disk_rate = block_bytes / config.disk.expected_read_time(
+        ZONE_OUTER, block_bytes
+    )
+    estimate = (
+        estimate_restripe_time(
+            plan, disk_rate, disk_rate, config.cub_nic_bps
+        )
+        if plan.moves else 0.0
+    )
+    print(f"plan: {len(plan.moves)} moves, "
+          f"{plan.total_bytes} bytes, weights {weights}")
+    print(f"analytic estimate (dedicated resources): {estimate:.1f}s; "
+          f"throttle {args.throttle:.0%} of NIC under live load")
+    skipped = int(restriper.moves_skipped.value())
+    if skipped:
+        print(f"journal resume: {skipped} moves already committed, "
+              f"never re-run")
+
+    workload = ContinuousWorkload(system)
+    target = max(1, int(config.num_slots * args.load))
+    workload.add_streams(target)
+    system.sim.call_at(args.start_at, restriper.start)
+    system.run_for(args.seconds)
+    system.finalize_clients()
+
+    _print_restripe_summary(restriper)
+    missed = system.total_client_missed()
+    print(f"viewers: {target} streams at {args.load:.0%} load, "
+          f"{system.total_client_received()} blocks delivered, "
+          f"{missed} missed, {system.total_client_late()} late")
+    system.assert_invariants()
+    if tracer is not None:
+        _export_trace(args.trace, tracer)
+    if args.metrics_out is not None:
+        _export_metrics(args.metrics_out, system)
+    return 0 if (restriper.finished and missed == 0) else 1
 
 
 def cmd_trace(args) -> int:
@@ -444,7 +609,19 @@ def cmd_cluster(args) -> int:
             kill_helper=args.kill_helper,
             placement=args.placement,
             churn=args.churn,
+            restripe_throttle=args.restripe_throttle,
+            restripe_start=args.restripe_start,
+            restripe_journal=args.restripe_journal,
         )
+        if args.restripe is not None:
+            import dataclasses
+
+            scenario = dataclasses.replace(
+                scenario,
+                restripe_weights=_parse_restripe_weights(
+                    args.restripe, scenario.config()
+                ),
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CLUSTER_USAGE
@@ -518,6 +695,28 @@ def build_parser() -> argparse.ArgumentParser:
                  f"{', '.join(PLACEMENT_POLICIES)} "
                  "(first-fit is the legacy behavior)")
 
+    def restripe_flags(sub):
+        sub.add_argument(
+            "--restripe", metavar="WEIGHTS", default=None,
+            help="run an online capacity-weighted restripe during the "
+                 "run: comma-separated integer disk weights, either one "
+                 "per disk or one per local disk slot (replicated "
+                 "across cubs)")
+        sub.add_argument(
+            "--restripe-throttle", type=float, default=0.25,
+            metavar="FRACTION", dest="restripe_throttle",
+            help="cap restripe traffic at this fraction of a cub NIC "
+                 "(default 0.25)")
+        sub.add_argument(
+            "--restripe-start", type=float, default=5.0,
+            metavar="SECONDS", dest="restripe_start",
+            help="when the restriper starts moving blocks (default 5)")
+        sub.add_argument(
+            "--restripe-journal", metavar="PATH", default=None,
+            dest="restripe_journal",
+            help="write-ahead move journal; an existing journal from a "
+                 "crashed run is loaded and the restripe resumes")
+
     demo = subparsers.add_parser("demo", help="run and inspect a system")
     common(demo)
     observability(demo)
@@ -529,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "results are bit-identical either way)")
     helper_tier(demo)
     placement_flag(demo)
+    restripe_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     failover = subparsers.add_parser("failover", help="reconfiguration drill")
@@ -557,7 +757,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "replay fingerprint is identical either way)")
     helper_tier(chaos)
     placement_flag(chaos)
+    restripe_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    restripe = subparsers.add_parser(
+        "restripe",
+        help="online capacity-weighted restripe under live traffic",
+        epilog=(
+            "exit codes: 0 = restripe finished with zero viewer "
+            "misses; 1 = unfinished (raise --seconds or --throttle) "
+            "or viewers missed blocks; 2 = bad arguments"
+        ),
+    )
+    common(restripe)
+    observability(restripe)
+    restripe.add_argument("--load", type=float, default=0.5,
+                          help="viewer load fraction while restriping")
+    restripe.add_argument("--seconds", type=float, default=90.0)
+    restripe.add_argument("--weights", metavar="WEIGHTS", default=None,
+                          help="disk capacity weights (see demo "
+                               "--restripe); default doubles every "
+                               "cub's last local disk")
+    restripe.add_argument("--throttle", type=float, default=0.25,
+                          help="restripe NIC budget fraction "
+                               "(default 0.25)")
+    restripe.add_argument("--start-at", type=float, default=5.0,
+                          dest="start_at", metavar="SECONDS",
+                          help="when the restriper starts (default 5)")
+    restripe.add_argument("--journal", metavar="PATH", default=None,
+                          help="write-ahead move journal; loading an "
+                               "existing one resumes a crashed restripe")
+    restripe.set_defaults(func=cmd_restripe)
 
     trace = subparsers.add_parser(
         "trace", help="failover drill exported as a Chrome trace")
@@ -588,7 +818,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the performance benchmark matrix")
     bench.add_argument("--workloads", default=None, metavar="NAMES",
                        help="comma-separated subset of "
-                            "kernel,fig8,chaos,scale,live,helpers,placement "
+                            "kernel,fig8,chaos,scale,live,helpers,"
+                            "placement,restripe "
                             "(default: all)")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json files")
@@ -674,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "scenarios need a short deadman)")
     cluster.add_argument("--no-backup", action="store_true",
                          help="run without the backup controller node")
+    restripe_flags(cluster)
     cluster.add_argument("--churn", type=int, default=0, metavar="EVENTS",
                          help="seeded VCR churn events (pause/resume/stop) "
                               "layered over the arrival plan; replayed "

@@ -34,6 +34,10 @@ from repro.core.protocol import (
     HelperFetch,
     HelperFetchReply,
     PlayEnded,
+    RestripeAck,
+    RestripeBlock,
+    RestripeCommit,
+    RestripeCopy,
     StartCommitted,
     StartRequest,
     ViewerStateBatch,
@@ -55,11 +59,13 @@ from repro.core.viewerstate import (
     mirror_states_for,
 )
 from repro.disk.drive import SimDisk
+from repro.disk.zones import ZONE_OUTER
 from repro.net.message import (
     BATCH_HEADER_BYTES,
     DESCHEDULE_BYTES,
     HEARTBEAT_BYTES,
     KIND_DATA,
+    REQUEST_BYTES,
     VIEWER_STATE_BYTES,
     Message,
 )
@@ -71,7 +77,7 @@ from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import BusyMeter
 from repro.sim.trace import Tracer
-from repro.storage.blockindex import BlockIndex
+from repro.storage.blockindex import BlockIndex, BlockLocation
 from repro.storage.catalog import Catalog
 from repro.storage.layout import StripeLayout
 from repro.storage.mirror import MirrorScheme
@@ -197,6 +203,17 @@ class Cub(NetworkNode):
         #: Deadline buckets: fire time -> pending service actions.
         self._service_buckets: Dict[float, List[_ServiceHandle]] = {}
 
+        #: Committed block migrations from an online restripe:
+        #: (file_id, block_index) -> the block's new local location.
+        #: Consulted by the scheduled read path; survives a reboot
+        #: (it models on-disk placement metadata, like the block
+        #: index itself).
+        self.migrations: Dict[Tuple[int, int], BlockLocation] = {}
+        #: Restriped copies written but not yet committed, by move id.
+        #: Cleared on recover: an unacknowledged write is presumed
+        #: lost and the restriper's retry re-creates it (idempotent).
+        self._staged_restripes: Dict[int, BlockLocation] = {}
+
         #: Modelled CPU (packetization dominates; see DESIGN.md).
         self.cpu = BusyMeter(sim.now)
         #: Sliding window of recent block sends for the local schedule-
@@ -267,6 +284,23 @@ class Cub(NetworkNode):
             "cub.helper_fetches_served",
             help="Off-schedule cache-fill blocks sent to helper nodes",
             unit="blocks", cub=cub_id)
+        self.restripe_copies_served = metric(
+            "cub.restripe_copies_served",
+            help="Restripe block copies read off-schedule from this cub",
+            unit="blocks", cub=cub_id)
+        self.restripe_blocks_received = metric(
+            "cub.restripe_blocks_received",
+            help="Cross-cub restripe blocks written at this cub",
+            unit="blocks", cub=cub_id)
+        self.restripe_deferrals = metric(
+            "cub.restripe_deferrals",
+            help="Restripe copy reads deferred while scheduled work "
+                 "was queued on the source disk",
+            unit="deferrals", cub=cub_id)
+        self.restripe_commits = metric(
+            "cub.restripe_commits",
+            help="Migration-map cutovers applied from restripe commits",
+            unit="moves", cub=cub_id)
 
         #: Slot-placement policy for this cub's ownership instants.
         #: Policies are stateless; every cub shares the same registry
@@ -338,6 +372,11 @@ class Cub(NetworkNode):
         self._aborted_service.clear()
         self._recent_send_times.clear()
         self._first_considered.clear()
+        # Unacknowledged restripe writes are presumed lost with the
+        # crash; the restriper's retry re-creates them.  Committed
+        # migrations persist — they model on-disk placement metadata,
+        # like the block index.
+        self._staged_restripes.clear()
         self.start()
 
     # ==================================================================
@@ -362,6 +401,12 @@ class Cub(NetworkNode):
             self._on_cancel_start(payload)
         elif isinstance(payload, HelperFetch):
             self._on_helper_fetch(payload, message.src)
+        elif isinstance(payload, RestripeCopy):
+            self._on_restripe_copy(payload, message.src)
+        elif isinstance(payload, RestripeBlock):
+            self._on_restripe_block(payload)
+        elif isinstance(payload, RestripeCommit):
+            self._on_restripe_commit(payload)
         else:
             raise TypeError(f"{self.name}: unexpected payload {type(payload).__name__}")
 
@@ -401,6 +446,182 @@ class Cub(NetworkNode):
         )
         self.cpu.add_busy(self.sim.now, size * self.config.cpu_per_data_byte)
         self.helper_fetches_served.increment()
+
+    # ==================================================================
+    # Online restriping (repro.storage.rebalance)
+    # ==================================================================
+    #: Consecutive slot-period deferrals before a copy read proceeds
+    #: anyway (the off-schedule read cannot displace queued scheduled
+    #: reads in any case; deferring models yielding the head).
+    _RESTRIPE_MAX_DEFERRALS = 8
+
+    def _restripe_ack(
+        self, requester: str, move_id: int, ok: bool, detail: str = ""
+    ) -> None:
+        self.network.send(
+            Message(
+                self.address, requester,
+                RestripeAck(move_id, ok, detail), REQUEST_BYTES,
+            )
+        )
+
+    def _on_restripe_copy(
+        self, copy: RestripeCopy, requester: str, deferrals: int = 0
+    ) -> None:
+        """Read one block off-schedule for an online restripe.
+
+        Same spare-bandwidth rule as helper fetches: the read never
+        enters the per-disk scheduled queues, and it additionally
+        *defers* (one slot period at a time) while the source disk has
+        scheduled work queued, so restripe reads only consume
+        slot-idle disk time.
+        """
+        disk = self.disks.get(copy.src_disk)
+        if disk is None:
+            self._restripe_ack(
+                requester, copy.move_id, False,
+                f"disk {copy.src_disk} not on cub {self.cub_id}")
+            return
+        if disk.failed:
+            self._restripe_ack(
+                requester, copy.move_id, False,
+                f"source disk {copy.src_disk} failed")
+            return
+        location = self.block_index.lookup_primary(
+            copy.file_id, copy.block_index
+        )
+        if location is None:
+            self._restripe_ack(
+                requester, copy.move_id, False,
+                f"no primary entry for file {copy.file_id} "
+                f"block {copy.block_index}")
+            return
+        if (
+            disk.queue_backlog > 0
+            and deferrals < self._RESTRIPE_MAX_DEFERRALS
+        ):
+            self.restripe_deferrals.increment()
+            self.after(
+                self.config.block_service_time,
+                self._on_restripe_copy, copy, requester, deferrals + 1,
+            )
+            return
+        read_time = self.config.disk.expected_read_time(
+            location.zone, copy.size_bytes
+        )
+        self.cpu.add_busy(
+            self.sim.now, copy.size_bytes * self.config.cpu_per_data_byte
+        )
+        self.restripe_copies_served.increment()
+        if copy.dst_disk in self.disks:
+            # Intra-cub move: disk-to-disk copy, no network hop.  The
+            # write costs about a read on the destination's outer zone.
+            write_time = self.config.disk.expected_read_time(
+                ZONE_OUTER, copy.size_bytes
+            )
+            self.after(
+                read_time + write_time,
+                self._finish_local_restripe, copy, requester,
+            )
+        else:
+            dst_cub = self.layout.cub_of_disk(copy.dst_disk)
+            block = RestripeBlock(
+                move_id=copy.move_id,
+                file_id=copy.file_id,
+                block_index=copy.block_index,
+                dst_disk=copy.dst_disk,
+                size_bytes=copy.size_bytes,
+                pattern=block_pattern(copy.file_id, copy.block_index),
+                reply_to=requester,
+            )
+            self.after(
+                read_time, self._ship_restripe_block, dst_cub, block
+            )
+
+    def _finish_local_restripe(
+        self, copy: RestripeCopy, requester: str
+    ) -> None:
+        dst = self.disks.get(copy.dst_disk)
+        if dst is None or dst.failed:
+            self._restripe_ack(
+                requester, copy.move_id, False,
+                f"destination disk {copy.dst_disk} failed")
+            return
+        self._staged_restripes[copy.move_id] = BlockLocation(
+            copy.dst_disk, ZONE_OUTER, 0, copy.size_bytes
+        )
+        self._restripe_ack(requester, copy.move_id, True)
+
+    def _ship_restripe_block(self, dst_cub: int, block: RestripeBlock) -> None:
+        self.network.send_paced(
+            Message(
+                self.address,
+                cub_address(dst_cub),
+                block,
+                block.size_bytes,
+                kind=KIND_DATA,
+            ),
+            pacing_duration=self.config.block_play_time,
+        )
+
+    def _on_restripe_block(self, block: RestripeBlock) -> None:
+        """Write a cross-cub migrated block at its new disk."""
+        disk = self.disks.get(block.dst_disk)
+        if disk is None:
+            self._restripe_ack(
+                block.reply_to, block.move_id, False,
+                f"disk {block.dst_disk} not on cub {self.cub_id}")
+            return
+        if disk.failed:
+            self._restripe_ack(
+                block.reply_to, block.move_id, False,
+                f"destination disk {block.dst_disk} failed")
+            return
+        write_time = self.config.disk.expected_read_time(
+            ZONE_OUTER, block.size_bytes
+        )
+        self.cpu.add_busy(
+            self.sim.now, block.size_bytes * self.config.cpu_per_data_byte
+        )
+        self.after(write_time, self._finish_remote_restripe, block)
+
+    def _finish_remote_restripe(self, block: RestripeBlock) -> None:
+        disk = self.disks.get(block.dst_disk)
+        if disk is None or disk.failed:
+            self._restripe_ack(
+                block.reply_to, block.move_id, False,
+                f"destination disk {block.dst_disk} failed during write")
+            return
+        self._staged_restripes[block.move_id] = BlockLocation(
+            block.dst_disk, ZONE_OUTER, 0, block.size_bytes
+        )
+        self.restripe_blocks_received.increment()
+        self._restripe_ack(block.reply_to, block.move_id, True)
+
+    def _on_restripe_commit(self, commit: RestripeCommit) -> None:
+        """Cut the scheduled read path over to the migrated copy.
+
+        Idempotent: replaying a commit (journal resume, duplicated
+        message) is a no-op.  The old index entry is never removed —
+        dual presence is what lets an aborted or crashed restripe keep
+        serving from the source copies.
+        """
+        key = (commit.file_id, commit.block_index)
+        if key in self.migrations:
+            return
+        if commit.dst_disk not in self.disks:
+            return  # not the serving cub for this move (stale commit)
+        staged = self._staged_restripes.pop(commit.move_id, None)
+        if staged is None:
+            # Commit replay after a reboot dropped the staging record:
+            # rebuild the location from the commit itself.
+            entry = self.catalog.get(commit.file_id)
+            staged = BlockLocation(
+                commit.dst_disk, ZONE_OUTER, 0,
+                entry.content_bytes_per_block,
+            )
+        self.migrations[key] = staged
+        self.restripe_commits.increment()
 
     # ==================================================================
     # Steady state: viewer-state propagation (§4.1.1)
@@ -455,6 +676,13 @@ class Cub(NetworkNode):
     def _accept_own_state(self, state: ViewerState) -> None:
         """Serve and later forward a state targeted at one of my disks."""
         disk = self.disks[state.disk_id]
+        location = None
+        migrated = self._migrated_source(state)
+        if migrated is not None:
+            # An online restripe committed this block to a new local
+            # disk; the schedule slot is unchanged but the read goes
+            # to the migrated copy.
+            disk, location = migrated
         if disk.failed:
             # Local disk death: this cub is alive and knows immediately
             # (I/O errors), so it takes the §4.1.1 mirror decision itself.
@@ -466,8 +694,23 @@ class Cub(NetworkNode):
             # after a failover gap): the block cannot be sent on time.
             self.server_missed_blocks.increment()
         else:
-            self._schedule_block_service(state, disk)
+            self._schedule_block_service(state, disk, location)
         self._forward_queue.append(state)
+
+    def _migrated_source(self, state: ViewerState):
+        """The (disk, location) a committed migration redirects to.
+
+        Returns None when the block never migrated or the new disk is
+        unavailable — dual presence means the original copy (or its
+        mirrors) still serves in that case.
+        """
+        location = self.migrations.get((state.file_id, state.block_index))
+        if location is None:
+            return None
+        disk = self.disks.get(location.disk_id)
+        if disk is None or disk.failed:
+            return None
+        return disk, location
 
     def _service_at(self, when: float, fn, *args, quantize: bool = False):
         """Schedule a block-service action via a deadline bucket.
@@ -509,11 +752,24 @@ class Cub(NetworkNode):
             if not handle.cancelled:
                 handle.fn(*handle.args)
 
-    def _schedule_block_service(self, state: ViewerState, disk: SimDisk) -> None:
-        """Issue the read ahead of time; transmit exactly at the due time."""
+    def _schedule_block_service(
+        self,
+        state: ViewerState,
+        disk: SimDisk,
+        location: Optional[BlockLocation] = None,
+    ) -> None:
+        """Issue the read ahead of time; transmit exactly at the due time.
+
+        ``location`` overrides the primary-index lookup when a
+        committed migration redirects the read (see
+        :meth:`_migrated_source`).
+        """
         key = state.key()
         read_at = max(self.sim.now, state.due_time - self.config.disk_read_lead)
-        location = self.block_index.lookup_primary(state.file_id, state.block_index)
+        if location is None:
+            location = self.block_index.lookup_primary(
+                state.file_id, state.block_index
+            )
         if location is None:
             raise RuntimeError(
                 f"{self.name}: no primary index entry for file {state.file_id} "

@@ -275,3 +275,72 @@ class HelperCancel:
 
     viewer_id: str
     instance: int
+
+
+# ----------------------------------------------------------------------
+# Online restriping (repro.storage.rebalance)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RestripeCopy:
+    """Restriper -> source cub: copy one block to its new disk.
+
+    The read happens off-schedule (same spare-bandwidth rule as
+    :class:`HelperFetch`) and is deferred while the source disk's
+    queue holds scheduled work, so a restripe can never make a viewer
+    miss a deadline.
+    """
+
+    move_id: int
+    file_id: int
+    block_index: int
+    src_disk: int
+    dst_disk: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class RestripeBlock:
+    """Source cub -> destination cub: the block being migrated.
+
+    Paced like viewer data; the fingerprint stands in for content,
+    exactly as on the viewer data path.
+    """
+
+    move_id: int
+    file_id: int
+    block_index: int
+    dst_disk: int
+    size_bytes: int
+    pattern: int
+    #: Where the destination cub sends the durability ack.
+    reply_to: str = "restriper"
+
+
+@dataclass(frozen=True)
+class RestripeAck:
+    """Destination cub -> restriper: the new copy is durable (or the
+    move failed — ``ok`` False with a reason in ``detail``).
+
+    Until this arrives the block stays readable at its old disk
+    (dual presence), so a crash anywhere in flight loses nothing.
+    """
+
+    move_id: int
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RestripeCommit:
+    """Restriper -> owning cub: cut reads over to the new location.
+
+    Only after the journal records the move committed; the cub updates
+    its migration map so the scheduled read path starts consulting the
+    new disk.  Idempotent — replaying a commit is a no-op.
+    """
+
+    move_id: int
+    file_id: int
+    block_index: int
+    src_disk: int
+    dst_disk: int

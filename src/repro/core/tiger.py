@@ -179,6 +179,10 @@ class TigerSystem:
 
         self.clients: List[ViewerClient] = []
         self.backup_controller = None
+        #: Optional online restriper (see :meth:`attach_restriper`).
+        #: None means no restripe machinery exists at all, so runs
+        #: without one stay bit-identical to pre-restripe baselines.
+        self.restriper = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -208,6 +212,44 @@ class TigerSystem:
         self.network.register(client, self.config.client_nic_bps)
         self.clients.append(client)
         return client
+
+    def attach_restriper(
+        self,
+        plan,
+        journal=None,
+        throttle: float = 0.25,
+        retry_base: float = 0.5,
+        suspend_after: int = 3,
+        ack_timeout: Optional[float] = None,
+    ):
+        """Attach an :class:`~repro.storage.rebalance.OnlineRestriper`
+        that will execute ``plan`` in the background once started.
+
+        The restriper is a network node like any other — it rides the
+        switched fabric (and the shard/lookahead machinery) with the
+        same NIC model as a cub.  Call ``system.restriper.start()`` (or
+        schedule it) to begin moving blocks.
+        """
+        from repro.storage.rebalance import OnlineRestriper
+
+        if self.restriper is not None:
+            raise RuntimeError("a restriper is already attached")
+        restriper = OnlineRestriper(
+            sim=self.sim,
+            config=self.config,
+            plan=plan,
+            network=self.network,
+            journal=journal,
+            throttle=throttle,
+            retry_base=retry_base,
+            suspend_after=suspend_after,
+            ack_timeout=ack_timeout,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
+        self.network.register(restriper, self.config.cub_nic_bps)
+        self.restriper = restriper
+        return restriper
 
     def enable_controller_backup(self, takeover_timeout: Optional[float] = None):
         """Attach a backup controller (the paper's stated future work).
@@ -390,6 +432,18 @@ class TigerSystem:
                   help="Blocks currently resident across helper caches",
                   unit="blocks").set(
                       sum(len(h.policy) for h in self.helpers))
+        if self.restriper is not None:
+            gauge("restripe.progress_ratio",
+                  help="Fraction of planned moves committed (or skipped "
+                       "as already committed on resume)",
+                  unit="ratio").set(self.restriper.progress_ratio())
+            gauge("restripe.in_flight",
+                  help="Moves currently copying", unit="moves").set(
+                      self.restriper.in_flight())
+            gauge("restripe.suspended",
+                  help="1 while repeated move failures hold the "
+                       "restripe suspended",
+                  unit="bool").set(1.0 if self.restriper.suspended else 0.0)
         for cub in self.cubs:
             gauge("cub.cpu_utilization",
                   help="Modelled CPU utilization since last reset",
@@ -426,6 +480,9 @@ class TigerSystem:
         for disk in cub.disks.values():
             disk.recover()
         cub.recover()
+        if self.restriper is not None:
+            # A repaired cub is what a failure-suspension waits for.
+            self.restriper.notify_cub_recovered(cub_id)
 
     def fail_disk(self, disk_id: int) -> None:
         self.tracer.emit(

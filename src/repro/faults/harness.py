@@ -88,6 +88,10 @@ class ChaosHarness:
         helpers: int = 0,
         helper_capacity: int = 0,
         helper_policy: str = "lru",
+        restripe_weights: Optional[Tuple[int, ...]] = None,
+        restripe_throttle: float = 0.25,
+        restripe_start: float = 5.0,
+        restripe_journal: Optional[str] = None,
     ) -> None:
         if not 0.0 < load <= 1.0:
             raise ValueError("load must be in (0, 1]")
@@ -97,6 +101,10 @@ class ChaosHarness:
         self.helpers = helpers
         self.helper_capacity = helper_capacity
         self.helper_policy = helper_policy
+        self.restripe_weights = restripe_weights
+        self.restripe_throttle = restripe_throttle
+        self.restripe_start = restripe_start
+        self.restripe_journal = restripe_journal
         self.config = config
         self.plan = plan
         self.seed = seed
@@ -130,12 +138,15 @@ class ChaosHarness:
         self.registry = system.registry
         if self.profiler is not None:
             system.sim.set_profiler(self.profiler)
-        system.add_standard_content(
+        files = system.add_standard_content(
             num_files=self.num_files, duration_s=self.file_seconds
         )
         # Controller faults are only survivable with a backup; arm it
         # unconditionally so every plan runs against the same topology.
         system.enable_controller_backup()
+
+        if self.restripe_weights is not None:
+            self._arm_restripe(system, files)
 
         monitor = InvariantMonitor(system, period=self.monitor_period)
         self.monitor = monitor
@@ -170,9 +181,37 @@ class ChaosHarness:
         )
 
     # ------------------------------------------------------------------
+    def _arm_restripe(self, system: TigerSystem, files) -> None:
+        """Attach a weighted-rebalance restriper and schedule its start.
+
+        The weighted layout keeps the system's geometry (same cubs,
+        same disks) and only re-spreads blocks inside each cub, so the
+        restripe is fully executable under live traffic.  With a
+        journal path, a journal left by a crashed run is loaded and the
+        restripe *resumes* — committed moves are never re-run.
+        """
+        from repro.storage.journal import MoveJournal
+        from repro.storage.rebalance import plan_rebalance
+
+        weighted = system.layout.with_weights(tuple(self.restripe_weights))
+        block_bytes = {
+            entry.file_id: entry.content_bytes_per_block for entry in files
+        }
+        plan = plan_rebalance(system.layout, weighted, files, block_bytes)
+        journal = (
+            MoveJournal.load(self.restripe_journal)
+            if self.restripe_journal is not None
+            else None
+        )
+        restriper = system.attach_restriper(
+            plan, journal=journal, throttle=self.restripe_throttle
+        )
+        system.sim.call_at(self.restripe_start, restriper.start)
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _totals(system: TigerSystem) -> Dict[str, int]:
-        return {
+        totals = {
             "blocks_sent": system.total_blocks_sent(),
             "mirror_pieces_sent": system.total_mirror_pieces_sent(),
             "server_missed": system.total_server_missed(),
@@ -195,6 +234,16 @@ class ChaosHarness:
             "helper_blocks_served": system.total_helper_blocks_served(),
             "helper_fetches_served": system.total_helper_fetches_served(),
         }
+        # Restripe totals only exist when a restriper is attached, so a
+        # restripe-free fingerprint is bit-identical to the old baseline.
+        restriper = getattr(system, "restriper", None)
+        if restriper is not None:
+            totals["restripe_committed"] = int(
+                restriper.moves_committed.value()
+            )
+            totals["restripe_skipped"] = int(restriper.moves_skipped.value())
+            totals["restripe_retries"] = int(restriper.retries.value())
+        return totals
 
     @classmethod
     def fingerprint(cls, system: TigerSystem) -> str:

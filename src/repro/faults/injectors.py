@@ -42,6 +42,8 @@ from repro.faults.plan import (
     NET_ISOLATE,
     NET_PARTITION,
     NET_REORDER,
+    RESTRIPE_ABORT,
+    RESTRIPE_PAUSE,
     FaultPlan,
     FaultSpec,
     parse_target,
@@ -192,6 +194,47 @@ class ProcessFaultInjector:
                 sim.call_at(spec.start, self.system.recover_helper, helper_id)
 
 
+class RestripeFaultInjector:
+    """Schedules pause/resume windows and aborts on the restriper.
+
+    The restriper is resolved lazily at fire time, so a plan can be
+    installed before :meth:`TigerSystem.attach_restriper` runs, and a
+    restripe fault against a system with no restriper is a no-op
+    (exactly like killing an already-dead cub).
+    """
+
+    def __init__(self, system: Any, plan: FaultPlan) -> None:
+        self.system = system
+        self.events = plan.restripe_events()
+
+    def _restriper(self) -> Any:
+        return getattr(self.system, "restriper", None)
+
+    def _pause(self) -> None:
+        restriper = self._restriper()
+        if restriper is not None:
+            restriper.pause()
+
+    def _resume(self) -> None:
+        restriper = self._restriper()
+        if restriper is not None:
+            restriper.resume()
+
+    def _abort(self, reason: str) -> None:
+        restriper = self._restriper()
+        if restriper is not None:
+            restriper.abort(reason)
+
+    def install(self) -> None:
+        sim = self.system.sim
+        for spec in self.events:
+            if spec.kind == RESTRIPE_PAUSE:
+                sim.call_at(spec.start, self._pause)
+                sim.call_at(spec.end, self._resume)
+            elif spec.kind == RESTRIPE_ABORT:
+                sim.call_at(spec.start, self._abort, spec.get("reason", "chaos"))
+
+
 class _NetworkTopologyInjector:
     """Schedules link partitions and port isolations on the switch."""
 
@@ -225,12 +268,14 @@ class InstalledFaults:
         disk_injector: DiskFaultInjector,
         process_injector: ProcessFaultInjector,
         topology_injector: _NetworkTopologyInjector,
+        restripe_injector: Optional["RestripeFaultInjector"] = None,
     ) -> None:
         self.plan = plan
         self.message_injector = message_injector
         self.disk_injector = disk_injector
         self.process_injector = process_injector
         self.topology_injector = topology_injector
+        self.restripe_injector = restripe_injector
 
     def message_stats(self) -> Dict[str, int]:
         inj = self.message_injector
@@ -270,6 +315,8 @@ def install_plan(
     process_injector.install()
     topology_injector = _NetworkTopologyInjector(system, plan)
     topology_injector.install()
+    restripe_injector = RestripeFaultInjector(system, plan)
+    restripe_injector.install()
 
     if monitor is not None:
         for spec in plan.events:
@@ -277,5 +324,5 @@ def install_plan(
 
     return InstalledFaults(
         plan, message_injector, disk_injector, process_injector,
-        topology_injector,
+        topology_injector, restripe_injector,
     )

@@ -51,6 +51,7 @@ CHECK_NAMES = (
     "oracle",
     "double-ownership",
     "conservation",
+    "restripe-presence",
     "view-coherence",
     "stream-liveness",
     "deadman-convergence",
@@ -178,6 +179,8 @@ class InvariantMonitor:
         self._count("double-ownership")
         self._check_delivery_conservation(now)
         self._count("conservation")
+        self._check_restripe_presence(now)
+        self._count("restripe-presence")
         if not self._relaxed(now):
             self._check_view_coherence(now)
             self._count("view-coherence")
@@ -266,6 +269,51 @@ class InvariantMonitor:
                         f"{monitor.next_seqno} beyond expected "
                         f"{monitor.expected_total} blocks",
                     )
+
+    def _check_restripe_presence(self, now: float) -> None:
+        """Dual presence during online restriping (hard safety).
+
+        Every migration entry a cub serves reads from must name a disk
+        that cub actually owns, and — while a restriper is attached —
+        the *source* copy of every planned move must still resolve in
+        its owning cub's block index.  The old copy is never dropped,
+        even after commit, so a crash at any point in a move loses
+        nothing.
+        """
+        cubs = getattr(self.system, "cubs", None)
+        if cubs is None:  # unit-test doubles without a storage layer
+            return
+        for cub in cubs:
+            for key, location in getattr(cub, "migrations", {}).items():
+                if location.disk_id not in cub.disks:
+                    file_id, block = key
+                    self._fail(
+                        now,
+                        "restripe-presence",
+                        f"cub {cub.cub_id} migration for file {file_id} "
+                        f"block {block} names disk {location.disk_id} "
+                        f"it does not own",
+                    )
+        restriper = getattr(self.system, "restriper", None)
+        if restriper is None:
+            return
+        layout = restriper.layout
+        for move in restriper.plan.moves:
+            serving = cubs[layout.cub_of_disk(move.src_disk)]
+            if (
+                serving.block_index.lookup_primary(
+                    move.file_id, move.block_index
+                )
+                is None
+            ):
+                self._fail(
+                    now,
+                    "restripe-presence",
+                    f"source copy of file {move.file_id} block "
+                    f"{move.block_index} (disk {move.src_disk}) vanished "
+                    f"from cub {serving.cub_id}'s index — dual presence "
+                    f"broken",
+                )
 
     # ------------------------------------------------------------------
     # Staleness-sensitive

@@ -44,14 +44,17 @@ CONTROLLER_KILL = "controller.kill"
 CONTROLLER_RECOVER = "controller.recover"
 HELPER_CRASH = "helper.crash"    # edge-cache node death (degrade to origin)
 HELPER_RESTART = "helper.restart"
+RESTRIPE_PAUSE = "restripe.pause"  # hold the background rebalancer
+RESTRIPE_ABORT = "restripe.abort"  # cancel it outright (journal records why)
 
 _WINDOW_KINDS = frozenset(
     {NET_DROP, NET_DELAY, NET_DUPLICATE, NET_REORDER, NET_PARTITION,
-     NET_ISOLATE, DISK_SLOW, DISK_STUCK}
+     NET_ISOLATE, DISK_SLOW, DISK_STUCK, RESTRIPE_PAUSE}
 )
 _POINT_KINDS = frozenset(
     {DISK_FAIL, DISK_RECOVER, CUB_CRASH, CUB_RESTART,
-     CONTROLLER_KILL, CONTROLLER_RECOVER, HELPER_CRASH, HELPER_RESTART}
+     CONTROLLER_KILL, CONTROLLER_RECOVER, HELPER_CRASH, HELPER_RESTART,
+     RESTRIPE_ABORT}
 )
 ALL_KINDS = _WINDOW_KINDS | _POINT_KINDS
 
@@ -299,6 +302,26 @@ class FaultPlan:
         return self
 
     # ------------------------------------------------------------------
+    # Restripe faults
+    # ------------------------------------------------------------------
+    def pause_restripe(self, start: float, duration: float) -> "FaultPlan":
+        """Hold the background rebalancer for ``duration`` seconds.
+
+        In-flight moves are allowed to land; no new ones launch until
+        the window closes and the restriper is resumed.
+        """
+        self.events.append(FaultSpec(RESTRIPE_PAUSE, start, duration))
+        return self
+
+    def abort_restripe(self, at: float, reason: str = "chaos") -> "FaultPlan":
+        """Cancel the running restripe outright; the journal records
+        the abort so a later resume starts from a clean decision."""
+        self.events.append(
+            FaultSpec(RESTRIPE_ABORT, at, params=_params(reason=reason))
+        )
+        return self
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def end_time(self) -> float:
@@ -318,6 +341,9 @@ class FaultPlan:
             or e.kind.startswith("controller.")
             or e.kind.startswith("helper.")
         ]
+
+    def restripe_events(self) -> List[FaultSpec]:
+        return [e for e in self.events if e.kind.startswith("restripe.")]
 
     def describe(self) -> str:
         if not self.events:

@@ -171,6 +171,17 @@ class ClusterScenario:
     #: Seeded VCR churn events (pause/resume/stop) to schedule on top
     #: of the arrival plan; 0 keeps the legacy plan byte-for-byte.
     churn: int = 0
+    #: Per-disk capacity weights for an online restripe running in the
+    #: background of the scenario; None runs restripe-free.
+    restripe_weights: Optional[Tuple[int, ...]] = None
+    #: NIC fraction the restriper may consume per source cub.
+    restripe_throttle: float = 0.25
+    #: Runtime second at which the restripe starts.
+    restripe_start: float = 5.0
+    #: Write-ahead move journal path; an existing journal from a
+    #: crashed run is loaded and the restripe resumes (the
+    #: ``--compare-sim`` replay always executes the full plan).
+    restripe_journal: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cubs < 3:
@@ -213,6 +224,21 @@ class ClusterScenario:
             raise ValueError("hubs must be within [1, cubs]")
         if self.churn < 0:
             raise ValueError("churn must be >= 0")
+        if self.restripe_weights is not None:
+            num_disks = self.config().num_disks
+            if len(self.restripe_weights) != num_disks:
+                raise ValueError(
+                    f"restripe weights need one entry per disk "
+                    f"({num_disks}), got {len(self.restripe_weights)}"
+                )
+            if any(weight < 1 for weight in self.restripe_weights):
+                raise ValueError("restripe weights must be >= 1")
+        if not 0.0 < self.restripe_throttle <= 1.0:
+            raise ValueError("restripe throttle must be in (0, 1]")
+        if self.restripe_weights is not None and not (
+            0.0 <= self.restripe_start < self.duration
+        ):
+            raise ValueError("restripe start must land inside the run")
 
     def config(self) -> TigerConfig:
         """The Tiger config both backends run."""
@@ -356,6 +382,21 @@ class ClusterScenario:
     @property
     def driver_namespace(self) -> int:
         return self.cubs + 3
+
+
+def build_restripe_plan(scenario: "ClusterScenario", layout: Any, files: Any):
+    """The capacity-weighted rebalance plan both backends execute.
+
+    Layout and content are pure functions of the scenario, so the live
+    driver and the simulator replay plan the *identical* move list.
+    """
+    from repro.storage.rebalance import plan_rebalance
+
+    weighted = layout.with_weights(tuple(scenario.restripe_weights))
+    block_bytes = {
+        entry.file_id: entry.content_bytes_per_block for entry in files
+    }
+    return plan_rebalance(layout, weighted, files, block_bytes)
 
 
 # ----------------------------------------------------------------------
@@ -668,6 +709,14 @@ class ClusterReport:
         rows.append((
             "clients received data", received > 0, f"{received:g} blocks"
         ))
+        if self.scenario.restripe_weights is not None:
+            committed = snapshot_total(merged, "restripe.moves_committed")
+            skipped = snapshot_total(merged, "restripe.moves_skipped")
+            rows.append((
+                "restripe made progress",
+                committed + skipped > 0,
+                f"{committed:g} committed, {skipped:g} resumed-skipped",
+            ))
         cub_kills = [
             kill for kill in self.kills if kill[1].startswith("cub:")
         ]
@@ -707,6 +756,13 @@ class ClusterReport:
                 f"{scenario.helper_capacity} blocks each, "
                 f"policy {scenario.helper_policy}"
             )
+        if scenario.restripe_weights is not None:
+            lines.append(
+                f"  restripe: weights "
+                f"{','.join(str(w) for w in scenario.restripe_weights)}, "
+                f"throttle {scenario.restripe_throttle:g}, "
+                f"start t={scenario.restripe_start:g}s"
+            )
         for when, address in self.kills:
             lines.append(f"  fault: SIGKILL {address} at t={when:g}s")
         lines.append(f"  node logs and specs: {self.workdir}")
@@ -733,6 +789,15 @@ class ClusterReport:
                 "helper.origin_offload_ratio",
             )
             if scenario.helpers
+            else ()
+        ) + (
+            (
+                "restripe.moves_planned",
+                "restripe.moves_committed",
+                "restripe.bytes_moved",
+                "restripe.retries",
+            )
+            if scenario.restripe_weights is not None
             else ()
         ):
             lines.append(
@@ -999,6 +1064,40 @@ async def _run_cluster_async(
     for churn_at, op, client_index in scenario.churn_plan():
         runtime.call_at(churn_at, _churn_ops[op], client_index)
 
+    # The online restriper is a driver-hosted protocol node: the same
+    # OnlineRestriper class the DES runs, on LiveRuntime + HubTransport.
+    # Copies and commits ride the hub to the real cub processes; acks
+    # route back through the hub's local delivery table.
+    restriper = None
+    if scenario.restripe_weights is not None:
+        from repro.storage.rebalance import RESTRIPER_ADDRESS, OnlineRestriper
+
+        from repro.storage.journal import MoveJournal
+
+        restripe_plan = build_restripe_plan(
+            scenario, world.layout, world.files
+        )
+        restriper = OnlineRestriper(
+            sim=runtime,
+            config=world.config,
+            plan=restripe_plan,
+            network=transport,
+            journal=(
+                MoveJournal.load(scenario.restripe_journal)
+                if scenario.restripe_journal is not None
+                else None
+            ),
+            throttle=scenario.restripe_throttle,
+            registry=registry,
+        )
+        hub.local[RESTRIPER_ADDRESS] = restriper.deliver
+        runtime.call_at(scenario.restripe_start, restriper.start)
+        echo(
+            f"armed restripe: {len(restripe_plan.moves)} moves at "
+            f"t={scenario.restripe_start:g}s, throttle "
+            f"{scenario.restripe_throttle:g}"
+        )
+
     kill_at = scenario.kill_time()
     if kill_at is not None:
         plan = kill_cub_plan(scenario.kill_cub, kill_at)
@@ -1052,6 +1151,23 @@ async def _run_cluster_async(
         help="p99 of live.block_lateness across the whole run",
         unit="seconds",
     ).set(lateness.quantile(0.99) if lateness.n else 0.0)
+    if restriper is not None:
+        registry.gauge(
+            "restripe.progress_ratio",
+            help="Fraction of planned moves committed (or skipped "
+                 "as already committed on resume)",
+            unit="ratio",
+        ).set(restriper.progress_ratio())
+        registry.gauge(
+            "restripe.in_flight",
+            help="Moves currently copying", unit="moves",
+        ).set(restriper.in_flight())
+        registry.gauge(
+            "restripe.suspended",
+            help="1 while repeated move failures hold the restripe "
+                 "suspended",
+            unit="bool",
+        ).set(1.0 if restriper.suspended else 0.0)
     if scenario.helpers:
         # Offload ratio across the whole run, from the nodes' final
         # snapshots: cache-served blocks over all whole blocks served.
@@ -1111,6 +1227,12 @@ def run_scenario_in_sim(scenario: ClusterScenario) -> Dict[str, Any]:
     )
     if scenario.backup:
         system.enable_controller_backup()
+    if scenario.restripe_weights is not None:
+        restripe_plan = build_restripe_plan(scenario, system.layout, files)
+        restriper = system.attach_restriper(
+            restripe_plan, throttle=scenario.restripe_throttle
+        )
+        system.sim.call_at(scenario.restripe_start, restriper.start)
     clients = [system.add_client() for _ in range(scenario.streams)]
 
     instances: Dict[int, int] = {}
@@ -1181,6 +1303,9 @@ COMPARE_COUNTERS: List[Tuple[str, float, float]] = [
     ("cub.mirror_pieces_sent", 0.50, 40.0),
     ("controller.starts_routed", 0.25, 2.0),
     ("controller.stops_routed", 0.25, 2.0),
+    # Restripe pacing is time-based, so a short live run's commit count
+    # drifts with wall-clock jitter; both sides are zero restripe-free.
+    ("restripe.moves_committed", 0.50, 25.0),
 ]
 
 

@@ -62,6 +62,10 @@ from repro.core.protocol import (
     HelperProbe,
     PlayEnded,
     ReplicaUpdate,
+    RestripeAck,
+    RestripeBlock,
+    RestripeCommit,
+    RestripeCopy,
     StartAck,
     StartCommitted,
     StartRequest,
@@ -217,6 +221,11 @@ for _tag, _cls in (
     ("helper_fetch_reply", HelperFetchReply),
     ("helper_invalidate", HelperInvalidate),
     ("helper_cancel", HelperCancel),
+    # Online restriping (appended — ids are positional).
+    ("restripe_copy", RestripeCopy),
+    ("restripe_block", RestripeBlock),
+    ("restripe_ack", RestripeAck),
+    ("restripe_commit", RestripeCommit),
 ):
     register_payload(_tag, _cls)
 

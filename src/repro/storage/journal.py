@@ -1,0 +1,157 @@
+"""Write-ahead move journal for online restriping.
+
+The :class:`~repro.storage.rebalance.OnlineRestriper` records every
+move *intent* before launching it and every *commit* after the new
+copy is acknowledged durable.  The journal is the crash-consistency
+story: a restriper (or the whole process) killed mid-restripe is
+rebuilt from the journal and
+
+* never re-runs a committed move (the never-run-twice guard — a
+  second :meth:`MoveJournal.record_commit` for the same move raises),
+* re-issues moves with an intent but no commit (safe: copies and
+  commits are idempotent, the old copy is still authoritative), and
+* converges to the same final placement fingerprint as an undisturbed
+  run.
+
+Records are plain JSON objects, one per line, appended to an optional
+on-disk file (the live backend and the crash-resume drills use a real
+file; DES runs usually keep the journal in memory).  The format is
+append-only and self-delimiting, so a torn final line — the expected
+artifact of a SIGKILL — is detected and dropped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Set
+
+#: Record types, in the order a healthy restripe writes them.
+REC_PLAN = "plan"
+REC_INTENT = "intent"
+REC_COMMIT = "commit"
+REC_ABORT = "abort"
+REC_DONE = "done"
+
+
+class JournalError(RuntimeError):
+    """A journal invariant was violated (e.g. double commit)."""
+
+
+class MoveJournal:
+    """Append-only WAL for one restripe's move lifecycle."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.records: List[Dict[str, Any]] = []
+        #: Move ids with a recorded intent (possibly several: retries
+        #: re-record so the attempt history survives a crash).
+        self.intents: Set[int] = set()
+        #: Move ids recorded durable — never re-run.
+        self.committed: Set[int] = set()
+        self.plan_fingerprint: Optional[str] = None
+        self.num_moves: Optional[int] = None
+        self.aborted = False
+        self.done_fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def record_plan(self, plan_fingerprint: str, num_moves: int) -> None:
+        """Stamp the journal with the plan it belongs to.
+
+        Re-recording the same plan (a resume) is a no-op; a different
+        plan is an error — a journal never spans two restripes.
+        """
+        if self.plan_fingerprint is not None:
+            if self.plan_fingerprint != plan_fingerprint:
+                raise JournalError(
+                    "journal belongs to a different plan "
+                    f"({self.plan_fingerprint[:12]}… != {plan_fingerprint[:12]}…)"
+                )
+            return
+        self.plan_fingerprint = plan_fingerprint
+        self.num_moves = num_moves
+        self._append(
+            {"type": REC_PLAN, "plan": plan_fingerprint, "moves": num_moves}
+        )
+
+    def record_intent(self, move_id: int, attempt: int = 0) -> None:
+        """A move is about to run.  Committed moves must never re-run."""
+        if move_id in self.committed:
+            raise JournalError(f"move {move_id} already committed")
+        self.intents.add(move_id)
+        self._append({"type": REC_INTENT, "move": move_id, "attempt": attempt})
+
+    def record_commit(self, move_id: int) -> None:
+        """The move's new copy is durable.  Exactly-once by contract."""
+        if move_id in self.committed:
+            raise JournalError(f"double commit for move {move_id}")
+        if move_id not in self.intents:
+            raise JournalError(f"commit for move {move_id} without intent")
+        self.committed.add(move_id)
+        self._append({"type": REC_COMMIT, "move": move_id})
+
+    def record_abort(self, reason: str) -> None:
+        self.aborted = True
+        self._append({"type": REC_ABORT, "reason": reason})
+
+    def record_done(self, placement_fingerprint: str) -> None:
+        self.done_fingerprint = placement_fingerprint
+        self._append({"type": REC_DONE, "placement": placement_fingerprint})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def is_committed(self, move_id: int) -> bool:
+        return move_id in self.committed
+
+    def pending_intents(self) -> Set[int]:
+        """Moves that started but never committed (re-run on resume)."""
+        return self.intents - self.committed
+
+    @classmethod
+    def load(cls, path: str) -> "MoveJournal":
+        """Rebuild journal state from disk, tolerating a torn tail."""
+        journal = cls.__new__(cls)
+        journal.path = path
+        journal.records = []
+        journal.intents = set()
+        journal.committed = set()
+        journal.plan_fingerprint = None
+        journal.num_moves = None
+        journal.aborted = False
+        journal.done_fingerprint = None
+        if not os.path.exists(path):
+            return journal
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    break  # torn tail from a crash mid-append
+                journal.records.append(record)
+                kind = record.get("type")
+                if kind == REC_PLAN:
+                    journal.plan_fingerprint = record["plan"]
+                    journal.num_moves = record["moves"]
+                elif kind == REC_INTENT:
+                    journal.intents.add(record["move"])
+                elif kind == REC_COMMIT:
+                    journal.committed.add(record["move"])
+                elif kind == REC_ABORT:
+                    journal.aborted = True
+                elif kind == REC_DONE:
+                    journal.done_fingerprint = record["placement"]
+        return journal

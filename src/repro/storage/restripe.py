@@ -12,7 +12,7 @@ bandwidth grows with the system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.storage.catalog import TigerFile
 from repro.storage.layout import StripeLayout
@@ -62,23 +62,43 @@ class RestripePlan:
             out[cub] = out.get(cub, 0) + move.size_bytes
         return out
 
+    def bytes_into_cub(self) -> Dict[int, int]:
+        """Bytes each *destination* cub's NIC must receive.
+
+        Destinations live in the new layout, so cub membership is
+        resolved there — a disk id can map to a different cub once the
+        geometry changes.
+        """
+        into: Dict[int, int] = {}
+        for move in self.moves:
+            cub = self.new_layout.cub_of_disk(move.dst_disk)
+            into[cub] = into.get(cub, 0) + move.size_bytes
+        return into
+
 
 def plan_restripe(
     old_layout: StripeLayout,
     new_layout: StripeLayout,
     files: Sequence[TigerFile],
     block_bytes_for: Dict[int, int],
-    new_start_disks: Dict[int, int] = None,
+    new_start_disks: Optional[Dict[int, int]] = None,
 ) -> RestripePlan:
     """Compute the block moves for a configuration change.
 
     ``block_bytes_for`` maps file_id -> stored block size.  Files keep
     their start disk when it exists in the new layout (capped by
-    ``new_layout.num_disks``); ``new_start_disks`` overrides per file.
+    ``new_layout.num_disks``); ``new_start_disks`` overrides per file
+    and must name disks that exist in the new layout.
     Blocks already on the right disk do not move.
     """
     plan = RestripePlan(old_layout, new_layout)
     overrides = new_start_disks or {}
+    for file_id, disk in overrides.items():
+        if not 0 <= disk < new_layout.num_disks:
+            raise ValueError(
+                f"start-disk override for file {file_id} names disk "
+                f"{disk}, outside the new layout [0, {new_layout.num_disks})"
+            )
     for entry in files:
         size = block_bytes_for[entry.file_id]
         new_start = overrides.get(
@@ -103,10 +123,13 @@ def estimate_restripe_time(
     """Wall-clock restripe estimate: the slowest single resource.
 
     Each disk reads its outgoing bytes and writes its incoming bytes;
-    each cub ships its outgoing bytes through its NIC.  All resources
-    work in parallel, so the restripe finishes when the most loaded
-    one does — which is a per-cub/per-disk quantity, independent of
-    the number of peers (§2.2's scalability claim).
+    each cub ships its outgoing bytes *and* receives its incoming
+    bytes through its NIC.  All resources work in parallel, so the
+    restripe finishes when the most loaded one does — which is a
+    per-cub/per-disk quantity, independent of the number of peers
+    (§2.2's scalability claim).  Charging only the source NICs would
+    under-estimate whenever a few cubs receive most of the bytes
+    (e.g. a capacity-weighted rebalance toward new disks).
     """
     if min(disk_read_rate, disk_write_rate, cub_network_rate) <= 0:
         raise ValueError("rates must be positive")
@@ -119,5 +142,8 @@ def estimate_restripe_time(
     net_times = [
         total / cub_network_rate for total in plan.bytes_out_of_cub().values()
     ]
-    candidates = read_times + write_times + net_times
+    net_in_times = [
+        total / cub_network_rate for total in plan.bytes_into_cub().values()
+    ]
+    candidates = read_times + write_times + net_times + net_in_times
     return max(candidates) if candidates else 0.0

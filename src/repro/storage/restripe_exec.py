@@ -87,7 +87,7 @@ class RestripeExecutor:
 
             reader = self._meter(self._readers, move.src_disk)
             read_start = max(self.sim.now, reader.busy_until)
-            reader.add_busy(self.sim.now, read_time)
+            reader.add_busy(read_start, read_time)
             read_done = read_start + read_time
 
             nic = self._meter(self._nics, src_cub)

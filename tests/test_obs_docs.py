@@ -59,6 +59,14 @@ ALL_CATEGORIES = {
     "invariant.violation",
     "mirror.cover",
     "net.deliver",
+    "net.reorder",
+    "restripe.abort",
+    "restripe.done",
+    "restripe.move",
+    "restripe.pause",
+    "restripe.resume",
+    "restripe.retry",
+    "restripe.suspend",
     "vstate.forward",
 }
 

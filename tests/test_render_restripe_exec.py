@@ -131,3 +131,29 @@ class TestRestripeExecutor:
         plan = build_plan(4, 5)
         with pytest.raises(ValueError):
             RestripeExecutor(Simulator(), plan, 0.0, 1.0, 1.0)
+
+    def test_per_disk_read_busy_matches_hand_computation(self):
+        """Readers charge busy time from the queued read start, so a
+        disk's read busy is exactly blocks x (size/rate + overhead)."""
+        from repro.storage.restripe import BlockMove, RestripePlan
+
+        old = StripeLayout(2, 1)
+        new = StripeLayout(2, 1)
+        size = 500_000
+        plan = RestripePlan(old, new, [
+            BlockMove(0, 0, 0, 1, size),
+            BlockMove(0, 1, 0, 1, size),
+            BlockMove(0, 2, 0, 1, size),
+            BlockMove(1, 0, 1, 0, size),
+        ])
+        rates = dict(
+            disk_read_rate=5e6, disk_write_rate=4e6, cub_network_rate=10e6
+        )
+        overhead = 0.01
+        result = RestripeExecutor(
+            Simulator(), plan, per_block_overhead=overhead, **rates
+        ).run()
+
+        per_read = size / rates["disk_read_rate"] + overhead  # 0.11 s
+        assert result.per_disk_read_busy[0] == pytest.approx(3 * per_read)
+        assert result.per_disk_read_busy[1] == pytest.approx(per_read)

@@ -1,0 +1,129 @@
+"""Unit tests for the write-ahead move journal (storage/journal.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.storage.journal import JournalError, MoveJournal
+
+
+class TestLifecycle:
+    def test_intent_then_commit(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 3)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        assert journal.is_committed(0)
+        assert journal.pending_intents() == set()
+
+    def test_double_commit_raises(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 1)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        with pytest.raises(JournalError):
+            journal.record_commit(0)
+
+    def test_commit_without_intent_raises(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 1)
+        with pytest.raises(JournalError):
+            journal.record_commit(0)
+
+    def test_committed_move_never_reruns(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 1)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        with pytest.raises(JournalError):
+            journal.record_intent(0)
+
+    def test_pending_intents_are_uncommitted_starts(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 4)
+        for move in (0, 1, 2):
+            journal.record_intent(move)
+        journal.record_commit(1)
+        assert journal.pending_intents() == {0, 2}
+
+    def test_retry_re_records_intent(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 1)
+        journal.record_intent(0, attempt=0)
+        journal.record_intent(0, attempt=1)
+        attempts = [
+            r["attempt"] for r in journal.records if r["type"] == "intent"
+        ]
+        assert attempts == [0, 1]
+
+
+class TestPlanStamp:
+    def test_same_plan_restamp_is_noop(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 2)
+        journal.record_plan("abc", 2)
+        plans = [r for r in journal.records if r["type"] == "plan"]
+        assert len(plans) == 1
+
+    def test_different_plan_rejected(self):
+        journal = MoveJournal()
+        journal.record_plan("abc", 2)
+        with pytest.raises(JournalError):
+            journal.record_plan("def", 2)
+
+
+class TestDiskRoundTrip:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        journal = MoveJournal.load(str(tmp_path / "never-written.jsonl"))
+        assert journal.committed == set()
+        assert journal.plan_fingerprint is None
+
+    def test_state_survives_reload(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = MoveJournal(path)
+        journal.record_plan("abc", 3)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        journal.record_intent(1)
+        journal.record_abort("test")
+        reloaded = MoveJournal.load(path)
+        assert reloaded.plan_fingerprint == "abc"
+        assert reloaded.num_moves == 3
+        assert reloaded.committed == {0}
+        assert reloaded.pending_intents() == {1}
+        assert reloaded.aborted
+
+    def test_done_fingerprint_round_trips(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = MoveJournal(path)
+        journal.record_plan("abc", 1)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        journal.record_done("deadbeef")
+        assert MoveJournal.load(path).done_fingerprint == "deadbeef"
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = MoveJournal(path)
+        journal.record_plan("abc", 2)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "commit", "mo')  # SIGKILL mid-append
+        reloaded = MoveJournal.load(path)
+        assert reloaded.committed == {0}
+        assert len(reloaded.records) == 3
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = MoveJournal(path)
+        journal.record_plan("abc", 1)
+        journal.record_intent(0)
+        journal.record_commit(0)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        assert [json.loads(line)["type"] for line in lines] == [
+            "plan", "intent", "commit",
+        ]

@@ -85,6 +85,63 @@ class TestBlockPlacement:
         assert sorted(touched) == list(range(layout.num_disks))
 
 
+class TestWeightedPlacement:
+    def test_bad_weight_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            StripeLayout(4, 2, (1, 1, 1))  # wrong length
+        with pytest.raises(ValueError):
+            StripeLayout(4, 2, (1, 1, 1, 1, 0, 1, 1, 1))  # zero weight
+        with pytest.raises(ValueError):
+            StripeLayout(2, 2, (1, 1, 1.5, 1))  # non-integer
+
+    def test_weight_of_disk_defaults_to_one(self, layout):
+        assert all(
+            layout.weight_of_disk(d) == 1 for d in range(layout.num_disks)
+        )
+
+    @given(st.integers(2, 12), st.integers(1, 5), st.integers(0, 3000))
+    def test_equal_weights_reduce_to_ring_placement(self, cubs, disks_per, pos):
+        plain = StripeLayout(cubs, disks_per)
+        weighted = plain.with_weights((1,) * plain.num_disks)
+        start = pos % plain.num_disks
+        block = pos // plain.num_disks
+        assert (
+            weighted.placement_disk_of_block(start, block)
+            == plain.disk_of_block(start, block)
+        )
+        assert (
+            plain.placement_disk_of_block(start, block)
+            == plain.disk_of_block(start, block)
+        )
+
+    def test_placement_preserves_cub_ownership(self):
+        layout = StripeLayout(4, 2, (1, 2, 1, 3, 2, 1, 1, 1))
+        for start in range(layout.num_disks):
+            for block in range(64):
+                ring_disk = layout.disk_of_block(start, block)
+                placed = layout.placement_disk_of_block(start, block)
+                assert layout.cub_of_disk(placed) == layout.cub_of_disk(
+                    ring_disk
+                )
+
+    def test_blocks_proportional_to_weights(self):
+        """A weight-2 disk holds twice a weight-1 disk's blocks."""
+        layout = StripeLayout(4, 2, (1, 1, 1, 1, 2, 2, 2, 2))
+        counts = {d: 0 for d in range(layout.num_disks)}
+        blocks = 4 * 3 * layout.num_cubs  # whole number of visit cycles
+        for block in range(blocks):
+            counts[layout.placement_disk_of_block(0, block)] += 1
+        for cub in range(layout.num_cubs):
+            low, high = cub, cub + layout.num_cubs
+            assert counts[high] == 2 * counts[low]
+
+    def test_weighted_sequence_interleaves(self):
+        """Smooth round-robin: no long same-disk runs for weight 2."""
+        layout = StripeLayout(1, 2, (1, 2))
+        seq = [layout.placement_disk_of_block(0, b) for b in range(6)]
+        assert seq == [0, 1, 1, 0, 1, 1]
+
+
 class TestRingArithmetic:
     def test_next_disk_wraps(self, layout):
         assert layout.next_disk(55) == 0

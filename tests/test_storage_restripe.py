@@ -4,7 +4,12 @@ import pytest
 
 from repro.storage.catalog import Catalog
 from repro.storage.layout import StripeLayout
-from repro.storage.restripe import estimate_restripe_time, plan_restripe
+from repro.storage.restripe import (
+    BlockMove,
+    RestripePlan,
+    estimate_restripe_time,
+    plan_restripe,
+)
 
 
 def build_catalog(num_disks, files=4, duration=50.0):
@@ -73,6 +78,31 @@ class TestPlan:
         # Shifting the start disk by one moves every block.
         assert len(plan.moves) == entry.num_blocks
 
+    def test_override_outside_new_layout_rejected(self):
+        old = StripeLayout(4, 2)
+        new = StripeLayout(4, 2)
+        catalog = build_catalog(old.num_disks, files=1)
+        entry = catalog.files()[0]
+        for bad_disk in (new.num_disks, -1, 100):
+            with pytest.raises(ValueError):
+                plan_restripe(
+                    old,
+                    new,
+                    catalog.files(),
+                    block_sizes(catalog),
+                    new_start_disks={entry.file_id: bad_disk},
+                )
+
+    def test_bytes_into_cub_uses_new_layout(self):
+        # Same 8 disks, but regrouped 4x2 -> 2x4: disk 2 moves from
+        # cub 2 to cub 0, so inbound accounting must follow the *new*
+        # cub membership.
+        old = StripeLayout(4, 2)
+        new = StripeLayout(2, 4)
+        plan = RestripePlan(old, new, [BlockMove(0, 0, 1, 2, 1000)])
+        assert plan.bytes_into_cub() == {new.cub_of_disk(2): 1000}
+        assert new.cub_of_disk(2) == 0
+
     def test_per_disk_accounting_sums_to_total(self):
         old = StripeLayout(4, 2)
         new = StripeLayout(5, 2)
@@ -95,6 +125,33 @@ class TestTimeEstimate:
         plan = plan_restripe(layout, layout, catalog.files(), block_sizes(catalog))
         with pytest.raises(ValueError):
             estimate_restripe_time(plan, 0.0, 5e6, 10e6)
+
+    def test_inbound_nic_bottleneck_charged(self):
+        """Regression: when a few cubs receive most of the bytes, the
+        destination NICs are the bottleneck.  Charging only source
+        cubs (the old behaviour) under-estimates the restripe."""
+        old = StripeLayout(4, 2)
+        new = StripeLayout(4, 2)
+        plan = RestripePlan(old, new)
+        # Every disk ships one block, but everything lands on cub 1
+        # (disks 1 and 5): inbound to cub 1 is the whole byte count.
+        size = 1_000_000
+        for src_disk in range(old.num_disks):
+            dst_disk = 1 if src_disk < 4 else 5
+            plan.moves.append(BlockMove(0, src_disk, src_disk, dst_disk, size))
+
+        disk_read, disk_write, cub_net = 5e6, 50e6, 12e6
+        estimate = estimate_restripe_time(plan, disk_read, disk_write, cub_net)
+
+        inbound = max(plan.bytes_into_cub().values()) / cub_net
+        stale_candidates = (
+            [b / disk_read for b in plan.bytes_out_of_disk().values()]
+            + [b / disk_write for b in plan.bytes_into_disk().values()]
+            + [b / cub_net for b in plan.bytes_out_of_cub().values()]
+        )
+        # The old estimate (no inbound term) tops out strictly lower.
+        assert max(stale_candidates) < inbound
+        assert estimate == pytest.approx(inbound)
 
     def test_restripe_time_independent_of_system_size(self):
         """§2.2: restripe time depends on cub/disk size and speed, not
